@@ -1,0 +1,77 @@
+"""Figure 13 — QPS-weighted cluster-wide latency and error rate.
+
+The paper's whole-cluster production result: latency and error rate
+aggregated over every optimized service pair, weighted by each pair's QPS
+share.  Expected shape: WITH RASA improves the weighted latency and error
+rate by roughly the paper's 23.75 % / 24.09 %, and the absolute gap from
+WITH RASA to the ONLY COLLOCATED bound stays small (< 10 % in the paper).
+"""
+
+from __future__ import annotations
+
+from conftest import TIME_LIMIT, record_result
+
+from repro.cluster import NetworkSimulator, relative_improvement
+from repro.core import Assignment, RASAScheduler
+
+NUM_WINDOWS = 48
+
+
+def test_fig13_weighted_cluster_metrics(benchmark, datasets):
+    cluster = datasets["M3"]
+    problem = cluster.problem
+
+    def run():
+        without = Assignment(problem, problem.current_assignment)
+        with_rasa = RASAScheduler().schedule(problem, time_limit=TIME_LIMIT).assignment
+        simulator = NetworkSimulator(seed=0)
+        return {
+            "without_rasa": simulator.report(
+                "without_rasa", without, cluster.qps, NUM_WINDOWS
+            ),
+            "with_rasa": simulator.report(
+                "with_rasa", with_rasa, cluster.qps, NUM_WINDOWS
+            ),
+            "only_collocated": simulator.report(
+                "only_collocated", with_rasa, cluster.qps, NUM_WINDOWS,
+                only_collocated=True,
+            ),
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = {}
+    print("\nFig. 13 — QPS-weighted cluster metrics (normalized means)")
+    print(f"{'metric':10s} {'without':>9s} {'with':>9s} {'collocated':>11s} "
+          f"{'improvement':>12s}")
+    for metric, attr in (("latency", "weighted_latency_ms"),
+                         ("error", "weighted_error_rate")):
+        base = float(getattr(reports["without_rasa"], attr).mean())
+        improved = float(getattr(reports["with_rasa"], attr).mean())
+        upper = float(getattr(reports["only_collocated"], attr).mean())
+        peak = max(base, improved, upper, 1e-12)
+        improvement = relative_improvement(base, improved)
+        gap_to_bound = (improved - upper) / peak
+        rows[metric] = {
+            "without": base / peak,
+            "with": improved / peak,
+            "only_collocated": upper / peak,
+            "improvement": improvement,
+            "gap_to_collocated": gap_to_bound,
+        }
+        print(
+            f"{metric:10s} {base/peak:>9.3f} {improved/peak:>9.3f} "
+            f"{upper/peak:>11.3f} {improvement:>12.2%}"
+        )
+        assert improved < base  # RASA helps
+        assert upper <= improved + 1e-9  # bound dominates
+
+    print(
+        f"\nweighted improvements: latency {rows['latency']['improvement']:.2%} "
+        f"(paper 23.75%), error {rows['error']['improvement']:.2%} (paper 24.09%)"
+    )
+    # Shape check: both improvements are material, and the remaining gap to
+    # the all-collocated bound is modest (paper: < 10% absolute).
+    assert rows["latency"]["improvement"] > 0.15
+    assert rows["error"]["improvement"] > 0.15
+    record_result("fig13_weighted_production", rows)

@@ -1,0 +1,63 @@
+"""Figure 7 — gained affinity and master total affinity vs. master ratio.
+
+Sweeps the master-affinity ratio ``alpha`` on each cluster under the common
+time-out and reports (a) the gained affinity of the full pipeline and
+(b) the share of total affinity covered by the master set, alongside the
+paper's chosen ratio ``45 * ln^0.66(N) / N``.  Expected shape: the master
+share rises quickly toward 1.0; gained affinity climbs to a peak and then
+plateaus (small clusters) or sags (large clusters under a tight budget).
+"""
+
+from __future__ import annotations
+
+from conftest import TIME_LIMIT, record_result
+
+from repro.core import RASAConfig, RASAScheduler
+from repro.partitioning import default_master_ratio, master_affinity_share
+from repro.partitioning.stages import split_master, split_non_affinity
+
+RATIOS = (0.05, 0.15, 0.30, 0.50, 0.75, 1.0)
+
+
+def test_fig7_master_ratio_sweep(benchmark, datasets):
+    def sweep():
+        rows: dict[str, dict] = {}
+        for cluster_name, cluster in sorted(datasets.items()):
+            problem = cluster.problem
+            chosen = default_master_ratio(problem.num_services)
+            points = []
+            for ratio in RATIOS:
+                scheduler = RASAScheduler(config=RASAConfig(master_ratio=ratio))
+                result = scheduler.schedule(problem, time_limit=TIME_LIMIT)
+                affinity_set, _ = split_non_affinity(problem)
+                masters, _ = split_master(problem, affinity_set, master_ratio=ratio)
+                points.append(
+                    {
+                        "ratio": ratio,
+                        "gained": result.gained_affinity,
+                        "master_share": master_affinity_share(problem, masters),
+                    }
+                )
+            rows[cluster_name] = {"chosen_ratio": chosen, "points": points}
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print(f"\nFig. 7 — master ratio sweep ({TIME_LIMIT:.0f}s budget)")
+    for cluster_name, data in sorted(rows.items()):
+        print(f"{cluster_name} (chosen alpha = {data['chosen_ratio']:.3f}):")
+        print(f"  {'ratio':>6s} {'gained':>8s} {'master share':>13s}")
+        for point in data["points"]:
+            print(
+                f"  {point['ratio']:>6.2f} {point['gained']:>8.3f} "
+                f"{point['master_share']:>13.3f}"
+            )
+        shares = [p["master_share"] for p in data["points"]]
+        # Master share is monotone in the ratio and approaches 1.0.
+        assert all(b >= a - 1e-9 for a, b in zip(shares, shares[1:]))
+        assert shares[-1] >= 0.999
+        # Tiny master sets lose objective relative to the best ratio.
+        gains = [p["gained"] for p in data["points"]]
+        assert max(gains) >= gains[0]
+
+    record_result("fig7_master_ratio", rows)

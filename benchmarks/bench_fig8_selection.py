@@ -1,0 +1,56 @@
+"""Figure 8 — gained affinity of different algorithm-selection policies.
+
+Runs the full RASA pipeline with each selection policy (always-CG,
+always-MIP, the container/machine heuristic, the topology-free MLP, and the
+paper's GCN) on all clusters under the common time-out.  Expected shape:
+no fixed policy wins everywhere; the GCN-based selector matches or beats
+every other policy on average.
+"""
+
+from __future__ import annotations
+
+from conftest import TIME_LIMIT, record_result
+
+from repro.core import RASAScheduler
+from repro.selection import FixedSelector, HeuristicSelector
+
+
+def test_fig8_algorithm_selection(benchmark, datasets, trained_selectors):
+    selectors = {
+        "cg": FixedSelector("cg"),
+        "mip": FixedSelector("mip"),
+        "heuristic": HeuristicSelector(),
+        "mlp": trained_selectors["mlp"],
+        "gcn": trained_selectors["gcn"],
+    }
+
+    def run_all():
+        rows: dict[str, dict[str, float]] = {}
+        for cluster_name, cluster in sorted(datasets.items()):
+            rows[cluster_name] = {}
+            for label, selector in selectors.items():
+                scheduler = RASAScheduler(selector=selector)
+                result = scheduler.schedule(cluster.problem, time_limit=TIME_LIMIT)
+                rows[cluster_name][label] = result.gained_affinity
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print(f"\nFig. 8 — gained affinity by selection policy ({TIME_LIMIT:.0f}s budget)")
+    header = f"{'cluster':8s}" + "".join(f"{n:>12s}" for n in selectors)
+    print(header)
+    for cluster_name, by_selector in sorted(rows.items()):
+        print(
+            f"{cluster_name:8s}"
+            + "".join(f"{by_selector[n]:>12.3f}" for n in selectors)
+        )
+    averages = {
+        label: sum(rows[c][label] for c in rows) / len(rows) for label in selectors
+    }
+    print("average " + "".join(f"{averages[n]:>12.3f}" for n in selectors))
+
+    # Paper shape: the learned GCN policy is competitive with the best
+    # policy on average (it need not win every single cluster).
+    best_fixed = max(averages["cg"], averages["mip"])
+    assert averages["gcn"] >= best_fixed * 0.97
+    record_result("fig8_selection", {"rows": rows, "averages": averages})

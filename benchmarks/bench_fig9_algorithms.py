@@ -1,0 +1,70 @@
+"""Figure 9 — gained affinity of RASA vs. all baselines.
+
+The paper's headline algorithm comparison: ORIGINAL, POP, K8s+, APPLSCI19,
+and RASA on every cluster under the common time-out.  Expected shape:
+RASA wins on every cluster; ORIGINAL trails by an order of magnitude
+(the paper reports >13x on average); APPLSCI19 is the strongest baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import TIME_LIMIT, record_result
+
+from repro.baselines import (
+    ApplSci19Algorithm,
+    K8sPlusAlgorithm,
+    OriginalAlgorithm,
+    POPAlgorithm,
+)
+from repro.core import RASAScheduler
+
+
+def test_fig9_algorithm_comparison(benchmark, datasets, trained_selectors):
+    baselines = {
+        "original": OriginalAlgorithm(),
+        "pop": POPAlgorithm(),
+        "k8s+": K8sPlusAlgorithm(),
+        "applsci19": ApplSci19Algorithm(),
+    }
+
+    def run_all():
+        rows: dict[str, dict[str, float]] = {}
+        for cluster_name, cluster in sorted(datasets.items()):
+            problem = cluster.problem
+            total = problem.affinity.total_affinity
+            rows[cluster_name] = {}
+            for label, algorithm in baselines.items():
+                result = algorithm.solve(problem, time_limit=TIME_LIMIT)
+                rows[cluster_name][label] = result.objective / total
+            scheduler = RASAScheduler(selector=trained_selectors["gcn"])
+            result = scheduler.schedule(problem, time_limit=TIME_LIMIT)
+            rows[cluster_name]["rasa"] = result.gained_affinity
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    labels = ["original", "pop", "k8s+", "applsci19", "rasa"]
+    print(f"\nFig. 9 — gained affinity by algorithm ({TIME_LIMIT:.0f}s budget)")
+    print(f"{'cluster':8s}" + "".join(f"{n:>12s}" for n in labels))
+    for cluster_name, by_algo in sorted(rows.items()):
+        print(f"{cluster_name:8s}" + "".join(f"{by_algo[n]:>12.3f}" for n in labels))
+    averages = {n: sum(rows[c][n] for c in rows) / len(rows) for n in labels}
+    print("average " + "".join(f"{averages[n]:>12.3f}" for n in labels))
+
+    improvement_vs_original = averages["rasa"] / max(averages["original"], 1e-9)
+    print(f"\nRASA vs ORIGINAL: {improvement_vs_original:.1f}x "
+          f"(paper: 13.8x average)")
+    for name in ("pop", "k8s+", "applsci19"):
+        rel = (averages["rasa"] - averages[name]) / max(averages[name], 1e-9)
+        print(f"RASA vs {name}: +{rel:.1%}")
+
+    # Paper shape: RASA wins every cluster (2% slack absorbs HiGHS
+    # time-slicing noise) and dwarfs ORIGINAL; strictly best on average.
+    for cluster_name, by_algo in rows.items():
+        best_other = max(v for k, v in by_algo.items() if k != "rasa")
+        assert by_algo["rasa"] >= best_other - 0.02, cluster_name
+    assert averages["rasa"] >= max(
+        v for k, v in averages.items() if k != "rasa"
+    )
+    assert improvement_vs_original > 4.0
+    record_result("fig9_algorithms", {"rows": rows, "averages": averages})

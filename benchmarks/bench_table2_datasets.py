@@ -1,0 +1,46 @@
+"""Table II — scales of the experimental datasets.
+
+Regenerates the dataset-scale table: the paper's absolute production scales
+alongside the scaled synthetic counterparts this repository evaluates on.
+The benchmark measures end-to-end generation time for all four clusters.
+"""
+
+from __future__ import annotations
+
+from conftest import record_result
+
+from repro.workloads import EVALUATION_SPECS, PAPER_SCALES, generate_cluster
+
+
+def _generate_all():
+    return [generate_cluster(EVALUATION_SPECS[name]) for name in sorted(EVALUATION_SPECS)]
+
+
+def test_table2_dataset_scales(benchmark):
+    clusters = benchmark.pedantic(_generate_all, rounds=1, iterations=1)
+
+    rows = {}
+    print("\nTable II — Scales of Experimental Datasets (paper -> scaled)")
+    print(f"{'cluster':8s} {'#service':>18s} {'#container':>20s} {'#machine':>18s}")
+    for cluster in clusters:
+        name = cluster.spec.name
+        paper = PAPER_SCALES[name]
+        problem = cluster.problem
+        rows[name] = {
+            "paper": paper,
+            "scaled": {
+                "services": problem.num_services,
+                "containers": problem.num_containers,
+                "machines": problem.num_machines,
+            },
+        }
+        print(
+            f"{name:8s} {paper['services']:>8d} -> {problem.num_services:<6d}"
+            f" {paper['containers']:>9d} -> {problem.num_containers:<7d}"
+            f" {paper['machines']:>8d} -> {problem.num_machines:<6d}"
+        )
+
+    # The paper's container-count ordering must be preserved at scale.
+    ordering = sorted(rows, key=lambda n: -rows[n]["scaled"]["containers"])
+    assert ordering == ["M2", "M4", "M1", "M3"]
+    record_result("table2_datasets", rows)

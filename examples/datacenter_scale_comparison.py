@@ -1,0 +1,67 @@
+"""Algorithm shoot-out on the scaled M1–M4 evaluation clusters.
+
+Reproduces the shape of the paper's Fig. 9 interactively: runs ORIGINAL,
+K8s+, POP, APPLSCI19, and RASA on each registered dataset under a common
+time budget and prints the normalized gained affinity per cluster plus the
+relative improvements the paper headlines.
+
+Run with: ``python examples/datacenter_scale_comparison.py``
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import (
+    ApplSci19Algorithm,
+    K8sPlusAlgorithm,
+    OriginalAlgorithm,
+    POPAlgorithm,
+)
+from repro.core import RASAScheduler
+from repro.workloads import EVALUATION_SPECS, load_cluster
+
+TIME_LIMIT = 10.0
+
+
+def main() -> None:
+    baselines = [
+        OriginalAlgorithm(),
+        K8sPlusAlgorithm(),
+        POPAlgorithm(),
+        ApplSci19Algorithm(),
+    ]
+    names = [b.name for b in baselines] + ["rasa"]
+    print(f"time budget per algorithm: {TIME_LIMIT:.0f}s")
+    header = "cluster " + "".join(f"{n:>12s}" for n in names)
+    print(header)
+    print("-" * len(header))
+
+    totals: dict[str, list[float]] = {n: [] for n in names}
+    for cluster_name in sorted(EVALUATION_SPECS):
+        problem = load_cluster(cluster_name).problem
+        total_affinity = problem.affinity.total_affinity
+        row = []
+        for baseline in baselines:
+            result = baseline.solve(problem, time_limit=TIME_LIMIT)
+            gained = result.objective / total_affinity
+            totals[baseline.name].append(gained)
+            row.append(gained)
+        start = time.monotonic()
+        rasa = RASAScheduler().schedule(problem, time_limit=TIME_LIMIT)
+        elapsed = time.monotonic() - start
+        totals["rasa"].append(rasa.gained_affinity)
+        row.append(rasa.gained_affinity)
+        cells = "".join(f"{value:12.3f}" for value in row)
+        print(f"{cluster_name:7s} {cells}   (rasa took {elapsed:.1f}s)")
+
+    print("\naverage improvement of RASA over each baseline:")
+    rasa_avg = sum(totals["rasa"]) / len(totals["rasa"])
+    for name in names[:-1]:
+        base_avg = sum(totals[name]) / len(totals[name])
+        if base_avg > 0:
+            print(f"  vs {name:10s} {(rasa_avg - base_avg) / base_avg:+.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""RASA — Resource Allocation with Service Affinity (ICDE 2024) reproduction.
+
+Public API tour:
+
+* Model a cluster with :class:`Service`, :class:`Machine`,
+  :class:`AntiAffinityRule`, and :class:`RASAProblem`.
+* Optimize placement with :class:`RASAScheduler` (the paper's three-phase
+  pipeline) and inspect the result's :class:`Assignment`.
+* Transition safely with :class:`MigrationPathBuilder` /
+  :class:`MigrationExecutor`.
+* Run the continuous control plane with :class:`ClusterState`,
+  :class:`DataCollector`, and :class:`CronJobController`.
+* Generate paper-shaped synthetic clusters via :mod:`repro.workloads`.
+"""
+
+from repro.core import (
+    AffinityGraph,
+    AntiAffinityRule,
+    Assignment,
+    FeasibilityReport,
+    Machine,
+    RASAProblem,
+    Service,
+)
+from repro.core.config import RASAConfig
+from repro.core.rasa import RASAResult, RASAScheduler, SubproblemReport
+from repro.exceptions import (
+    ClusterStateError,
+    InfeasibleProblemError,
+    MigrationError,
+    ProblemValidationError,
+    ReproError,
+    SolverError,
+    SolverTimeoutError,
+    TrainingError,
+)
+from repro.migration import MigrationExecutor, MigrationPathBuilder, MigrationPlan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffinityGraph",
+    "AntiAffinityRule",
+    "Assignment",
+    "ClusterStateError",
+    "FeasibilityReport",
+    "InfeasibleProblemError",
+    "Machine",
+    "MigrationError",
+    "MigrationExecutor",
+    "MigrationPathBuilder",
+    "MigrationPlan",
+    "ProblemValidationError",
+    "RASAConfig",
+    "RASAProblem",
+    "RASAResult",
+    "RASAScheduler",
+    "ReproError",
+    "Service",
+    "SolverError",
+    "SolverTimeoutError",
+    "SubproblemReport",
+    "TrainingError",
+    "__version__",
+]

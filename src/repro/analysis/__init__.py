@@ -1,0 +1,43 @@
+"""Analytics and reporting: placement metrics, tables, benchmark summaries."""
+
+from repro.analysis.lemma1 import (
+    Lemma1Check,
+    check_ideal,
+    check_problem,
+    constant_sweep,
+    lemma1_bound,
+    master_head_size,
+    tail_share,
+)
+from repro.analysis.metrics import (
+    PlacementMetrics,
+    affinity_cdf,
+    churn_between,
+    pair_localization_table,
+    placement_metrics,
+)
+from repro.analysis.report import (
+    format_table,
+    load_results,
+    render_results_overview,
+    summarize_comparison,
+)
+
+__all__ = [
+    "Lemma1Check",
+    "PlacementMetrics",
+    "affinity_cdf",
+    "check_ideal",
+    "check_problem",
+    "churn_between",
+    "constant_sweep",
+    "format_table",
+    "lemma1_bound",
+    "master_head_size",
+    "tail_share",
+    "load_results",
+    "pair_localization_table",
+    "placement_metrics",
+    "render_results_overview",
+    "summarize_comparison",
+]

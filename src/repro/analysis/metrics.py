@@ -1,0 +1,107 @@
+"""Placement analytics: the metrics the paper's monitoring system tracks.
+
+Computes per-placement summaries used by examples, the CronJob history, and
+the benchmark reports: localization per pair, gained-affinity breakdowns,
+machine utilization statistics, and churn between placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import RASAProblem
+from repro.core.solution import Assignment
+
+
+@dataclass(frozen=True)
+class PlacementMetrics:
+    """Summary statistics of one placement.
+
+    Attributes:
+        gained_affinity: Normalized overall gained affinity in ``[0, 1]``.
+        localized_pairs: Service pairs with localization ratio >= 0.99.
+        partially_localized_pairs: Pairs with ratio in (0, 0.99).
+        remote_pairs: Pairs with ratio 0.
+        mean_utilization: Mean machine utilization over resources.
+        utilization_std: Standard deviation of mean machine utilization
+            (the skew statistic the rollback guard watches).
+        unplaced_containers: Demand not covered by the placement.
+    """
+
+    gained_affinity: float
+    localized_pairs: int
+    partially_localized_pairs: int
+    remote_pairs: int
+    mean_utilization: float
+    utilization_std: float
+    unplaced_containers: int
+
+
+def placement_metrics(assignment: Assignment) -> PlacementMetrics:
+    """Compute :class:`PlacementMetrics` for an assignment."""
+    problem = assignment.problem
+    localized = partial = remote = 0
+    for u, v in problem.affinity.edges():
+        ratio = assignment.localization_ratio(u, v)
+        if ratio >= 0.99:
+            localized += 1
+        elif ratio > 0.0:
+            partial += 1
+        else:
+            remote += 1
+
+    utilization = np.nan_to_num(assignment.machine_utilization(), nan=0.0).mean(axis=1)
+    unplaced = int((problem.demands - assignment.x.sum(axis=1)).clip(0).sum())
+    return PlacementMetrics(
+        gained_affinity=assignment.gained_affinity(normalized=True),
+        localized_pairs=localized,
+        partially_localized_pairs=partial,
+        remote_pairs=remote,
+        mean_utilization=float(utilization.mean()),
+        utilization_std=float(utilization.std()),
+        unplaced_containers=unplaced,
+    )
+
+
+def pair_localization_table(
+    assignment: Assignment,
+    top: int | None = None,
+) -> list[tuple[str, str, float, float]]:
+    """Per-pair ``(u, v, weight, localization_ratio)`` rows, heaviest first."""
+    problem = assignment.problem
+    rows = [
+        (u, v, w, assignment.localization_ratio(u, v))
+        for (u, v), w in problem.affinity.items()
+    ]
+    rows.sort(key=lambda row: -row[2])
+    return rows[:top] if top is not None else rows
+
+
+def churn_between(before: Assignment, after: Assignment) -> float:
+    """Fraction of total containers that moved between two placements.
+
+    This is the paper's churn metric (Section III-B: < 5 % per execution
+    in steady state).
+    """
+    total = before.problem.num_containers
+    if total == 0:
+        return 0.0
+    return after.moved_containers(before) / total
+
+
+def affinity_cdf(problem: RASAProblem) -> np.ndarray:
+    """Cumulative share of total affinity by service rank (skew profile).
+
+    ``affinity_cdf(p)[k]`` is the fraction of total affinity carried by the
+    top ``k + 1`` services' ``T(s)`` — the curve behind Lemma 1 and the
+    master-ratio choice.  Note the per-service totals double-count each
+    edge, which is fine for the *relative* skew profile.
+    """
+    totals = np.array(
+        [t for _s, t in problem.affinity.services_by_total_affinity()], dtype=float
+    )
+    if totals.size == 0 or totals.sum() == 0:
+        return np.zeros(0)
+    return np.cumsum(totals) / totals.sum()

@@ -1,0 +1,111 @@
+"""Experiment reporting: text tables and EXPERIMENTS.md assembly.
+
+The benchmark suite writes one JSON file per regenerated table/figure into
+``benchmarks/results/``.  This module renders those payloads as aligned
+text tables and assembles the paper-vs-measured summary used by
+EXPERIMENTS.md, so the document can be refreshed from any benchmark run:
+
+    python -m repro.analysis.report benchmarks/results
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+
+def format_table(
+    headers: list[str],
+    rows: Iterable[list[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with ``float_format``; everything else via ``str``.
+    """
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def load_results(results_dir: str | Path) -> dict[str, dict]:
+    """Load every ``*.json`` payload written by the benchmark suite."""
+    results = {}
+    directory = Path(results_dir)
+    if not directory.exists():
+        return results
+    for path in sorted(directory.glob("*.json")):
+        results[path.stem] = json.loads(path.read_text())
+    return results
+
+
+def summarize_comparison(rows: dict[str, dict[str, float]], winner_hint: str) -> dict:
+    """Summarize a {cluster: {algorithm: value}} comparison payload.
+
+    Returns:
+        ``{"winner_per_cluster": ..., "averages": ..., "hint_wins": ...}`` —
+        ``hint_wins`` counts clusters where ``winner_hint`` is (tied-)best.
+    """
+    winners = {}
+    algorithms: set[str] = set()
+    for cluster, values in rows.items():
+        algorithms |= set(values)
+        winners[cluster] = max(values, key=values.get)
+    averages = {
+        algo: sum(rows[c].get(algo, 0.0) for c in rows) / max(len(rows), 1)
+        for algo in sorted(algorithms)
+    }
+    hint_wins = sum(
+        1
+        for cluster, values in rows.items()
+        if values.get(winner_hint, -1) >= max(values.values()) - 1e-9
+    )
+    return {
+        "winner_per_cluster": winners,
+        "averages": averages,
+        "hint_wins": hint_wins,
+        "num_clusters": len(rows),
+    }
+
+
+def render_results_overview(results_dir: str | Path) -> str:
+    """Human-readable overview of every recorded benchmark result."""
+    results = load_results(results_dir)
+    if not results:
+        return "no benchmark results found — run `pytest benchmarks/ --benchmark-only`"
+    sections = []
+    for name, payload in results.items():
+        sections.append(f"== {name} ==")
+        sections.append(json.dumps(payload, indent=2, sort_keys=True))
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    import sys
+
+    args = argv if argv is not None else sys.argv[1:]
+    results_dir = args[0] if args else "benchmarks/results"
+    print(render_results_overview(results_dir))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

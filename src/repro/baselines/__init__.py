@@ -1,0 +1,13 @@
+"""Paper baselines: POP, K8s+, APPLSCI19, and the production ORIGINAL."""
+
+from repro.baselines.applsci19 import ApplSci19Algorithm
+from repro.baselines.k8s_plus import K8sPlusAlgorithm
+from repro.baselines.original import OriginalAlgorithm
+from repro.baselines.pop import POPAlgorithm
+
+__all__ = [
+    "ApplSci19Algorithm",
+    "K8sPlusAlgorithm",
+    "OriginalAlgorithm",
+    "POPAlgorithm",
+]

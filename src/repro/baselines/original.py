@@ -1,0 +1,53 @@
+"""ORIGINAL baseline: the pre-RASA production scheduler.
+
+Paper Section V-A: "Original assignments from the model in ByteDance
+production combine the idea of first-fit with the K8S's filter and score
+process."  Containers arrive service by service (in a seeded random order,
+as production arrivals are affinity-oblivious) and each is placed by the
+default filter & score scheduler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.scheduler import DefaultScheduler
+from repro.cluster.state import ClusterState
+from repro.core.problem import RASAProblem
+from repro.solvers.base import SolveResult, Stopwatch
+
+
+class OriginalAlgorithm:
+    """Affinity-oblivious online placement (first-fit + filter/score).
+
+    Args:
+        seed: Arrival-order seed.
+    """
+
+    name = "original"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def solve(self, problem: RASAProblem, time_limit: float | None = None) -> SolveResult:
+        """Place all containers online; ignores the time limit (it is fast)."""
+        watch = Stopwatch(time_limit)
+        state = ClusterState(
+            problem,
+            placement=np.zeros((problem.num_services, problem.num_machines), dtype=np.int64),
+        )
+        scheduler = DefaultScheduler()
+        rng = np.random.default_rng(self.seed)
+        for s in rng.permutation(problem.num_services):
+            service = problem.services[int(s)]
+            for _ in range(service.demand):
+                if scheduler.place_one(state, service.name) is None:
+                    break
+        assignment = state.assignment()
+        return SolveResult(
+            assignment=assignment,
+            algorithm=self.name,
+            status="heuristic",
+            runtime_seconds=watch.elapsed,
+            objective=assignment.gained_affinity(),
+        )

@@ -1,0 +1,191 @@
+"""Command-line interface for the RASA reproduction.
+
+Subcommands mirror the workflows a cluster operator needs:
+
+* ``rasa generate`` — synthesize a cluster trace (or dump a registered
+  dataset) to a JSON trace file.
+* ``rasa optimize`` — load a trace, run the RASA pipeline, print the
+  placement summary and (optionally) the migration plan.
+* ``rasa compare`` — run every baseline plus RASA on a trace.
+* ``rasa inspect`` — placement metrics and skew profile of a trace.
+
+Installed as the ``rasa`` console script via pyproject.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import pair_localization_table, placement_metrics
+from repro.core import Assignment, RASAScheduler
+from repro.migration import MigrationPathBuilder
+from repro.workloads import ClusterSpec, generate_cluster, load_cluster
+from repro.workloads.trace_io import load_trace, save_trace
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="synthesize a cluster trace to a JSON file"
+    )
+    parser.add_argument("output", help="trace file to write")
+    parser.add_argument("--dataset", help="registered dataset name (M1-M4, T1-T4)")
+    parser.add_argument("--services", type=int, default=80)
+    parser.add_argument("--containers", type=int, default=400)
+    parser.add_argument("--machines", type=int, default=16)
+    parser.add_argument("--beta", type=float, default=2.0, help="affinity skew exponent")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_optimize(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "optimize", help="run the RASA pipeline on a trace"
+    )
+    parser.add_argument("trace", help="JSON trace file")
+    parser.add_argument("--time-limit", type=float, default=30.0)
+    parser.add_argument(
+        "--migration-plan",
+        action="store_true",
+        help="also compute and print the migration path (needs a current assignment)",
+    )
+
+
+def _add_compare(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "compare", help="run every baseline plus RASA on a trace"
+    )
+    parser.add_argument("trace", help="JSON trace file")
+    parser.add_argument("--time-limit", type=float, default=10.0)
+
+
+def _add_inspect(subparsers) -> None:
+    parser = subparsers.add_parser("inspect", help="placement metrics of a trace")
+    parser.add_argument("trace", help="JSON trace file")
+    parser.add_argument("--top-pairs", type=int, default=10)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rasa",
+        description="Resource Allocation with Service Affinity (ICDE 2024) toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_optimize(subparsers)
+    _add_compare(subparsers)
+    _add_inspect(subparsers)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset:
+        problem = load_cluster(args.dataset).problem
+    else:
+        spec = ClusterSpec(
+            name="cli",
+            num_services=args.services,
+            num_containers=args.containers,
+            num_machines=args.machines,
+            affinity_beta=args.beta,
+            seed=args.seed,
+        )
+        problem = generate_cluster(spec).problem
+    save_trace(problem, args.output)
+    print(f"wrote {problem} to {args.output}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    problem = load_trace(args.trace)
+    result = RASAScheduler().schedule(problem, time_limit=args.time_limit)
+    print(f"gained affinity: {result.gained_affinity:.2%}")
+    print(f"runtime: {result.runtime_seconds:.1f}s")
+    for report in result.reports:
+        print(
+            f"  shard {report.subproblem.num_services:>4d} services "
+            f"-> {report.selected_algorithm}: {report.result.status}"
+        )
+    feasibility = result.assignment.check_feasibility()
+    print(f"placement: {feasibility.summary()}")
+
+    if args.migration_plan:
+        if problem.current_assignment is None:
+            print("trace has no current assignment; skipping migration plan")
+            return 1
+        original = Assignment(problem, problem.current_assignment)
+        plan = MigrationPathBuilder().build(problem, original, result.assignment)
+        print(f"migration: {plan.summary()} ({plan.moved_containers} containers)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        ApplSci19Algorithm,
+        K8sPlusAlgorithm,
+        OriginalAlgorithm,
+        POPAlgorithm,
+    )
+
+    problem = load_trace(args.trace)
+    total = problem.affinity.total_affinity or 1.0
+    algorithms = [
+        OriginalAlgorithm(),
+        K8sPlusAlgorithm(),
+        POPAlgorithm(),
+        ApplSci19Algorithm(),
+    ]
+    print(f"{'algorithm':12s} {'gained':>8s} {'runtime':>9s}")
+    for algorithm in algorithms:
+        result = algorithm.solve(problem, time_limit=args.time_limit)
+        print(
+            f"{algorithm.name:12s} {result.objective / total:>8.3f} "
+            f"{result.runtime_seconds:>8.1f}s"
+        )
+    result = RASAScheduler().schedule(problem, time_limit=args.time_limit)
+    print(f"{'rasa':12s} {result.gained_affinity:>8.3f} "
+          f"{result.runtime_seconds:>8.1f}s")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    problem = load_trace(args.trace)
+    print(f"{problem}")
+    if problem.current_assignment is None:
+        print("trace has no current assignment")
+        return 1
+    assignment = Assignment(problem, problem.current_assignment)
+    metrics = placement_metrics(assignment)
+    print(f"gained affinity:    {metrics.gained_affinity:.2%}")
+    print(
+        f"pairs localized:    {metrics.localized_pairs} full, "
+        f"{metrics.partially_localized_pairs} partial, {metrics.remote_pairs} remote"
+    )
+    print(f"mean utilization:   {metrics.mean_utilization:.1%} "
+          f"(std {metrics.utilization_std:.3f})")
+    print(f"unplaced containers: {metrics.unplaced_containers}")
+    print(f"\ntop {args.top_pairs} pairs by traffic:")
+    for u, v, weight, ratio in pair_localization_table(assignment, top=args.top_pairs):
+        print(f"  {u} <-> {v}: weight={weight:.1f} localized={ratio:.1%}")
+    return 0
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "optimize": cmd_optimize,
+    "compare": cmd_compare,
+    "inspect": cmd_inspect,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Cluster simulator and control plane: state, scheduler, collector, CronJob,
+and the IPC-vs-RPC network performance model."""
+
+from repro.cluster.collector import DataCollector
+from repro.cluster.cronjob import CronJobController, CycleReport
+from repro.cluster.events import (
+    DynamicCluster,
+    EventSchedule,
+    MachineDrainEvent,
+    ScaleEvent,
+    TrafficShiftEvent,
+)
+from repro.cluster.simulation import DynamicSimulation, SimulationTick, make_world
+from repro.cluster.network import (
+    NetworkParameters,
+    NetworkSimulator,
+    PairSeries,
+    ProductionReport,
+    normalize_series,
+    relative_improvement,
+)
+from repro.cluster.scheduler import (
+    DefaultScheduler,
+    affinity_score,
+    binpack_score,
+    least_allocated_score,
+    spread_score,
+)
+from repro.cluster.state import ClusterSnapshot, ClusterState
+
+__all__ = [
+    "ClusterSnapshot",
+    "ClusterState",
+    "CronJobController",
+    "CycleReport",
+    "DataCollector",
+    "DefaultScheduler",
+    "DynamicCluster",
+    "DynamicSimulation",
+    "EventSchedule",
+    "MachineDrainEvent",
+    "ScaleEvent",
+    "SimulationTick",
+    "TrafficShiftEvent",
+    "make_world",
+    "NetworkParameters",
+    "NetworkSimulator",
+    "PairSeries",
+    "ProductionReport",
+    "affinity_score",
+    "binpack_score",
+    "least_allocated_score",
+    "normalize_series",
+    "relative_improvement",
+    "spread_score",
+]

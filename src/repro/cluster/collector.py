@@ -1,0 +1,71 @@
+"""Data collector: turns live cluster state into RASA algorithm input.
+
+The paper's collector gathers the service list, machine list, current
+deployments, and traffic metrics per cluster (Section III-A).  Here the
+traffic metrics come from the simulated monitoring system: the generator's
+ground-truth QPS jittered per collection window, so consecutive CronJob
+cycles see realistically drifting affinity weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.core.affinity import AffinityGraph
+from repro.core.problem import RASAProblem
+
+
+class DataCollector:
+    """Produces RASA input problems from cluster state and traffic metrics.
+
+    Args:
+        qps: Ground-truth traffic per service pair (the monitoring system's
+            source of affinity weights).
+        traffic_jitter_sigma: Lognormal sigma of per-window measurement
+            drift; 0 disables jitter.
+        seed: RNG seed for the jitter stream.
+    """
+
+    def __init__(
+        self,
+        qps: dict[tuple[str, str], float],
+        traffic_jitter_sigma: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        self.qps = dict(qps)
+        self.traffic_jitter_sigma = traffic_jitter_sigma
+        self._rng = np.random.default_rng(seed)
+
+    def collect(self, state: ClusterState) -> RASAProblem:
+        """Snapshot the cluster into a fresh :class:`RASAProblem`.
+
+        The returned problem carries the current placement as
+        ``current_assignment``, jittered traffic as affinity weights, and a
+        schedulability matrix with churn-tagged machines masked out (so the
+        optimizer cannot re-populate machines under the 3-day rollback tag).
+        """
+        base = state.problem
+        weights: dict[tuple[str, str], float] = {}
+        for pair, volume in self.qps.items():
+            jitter = (
+                float(self._rng.lognormal(0.0, self.traffic_jitter_sigma))
+                if self.traffic_jitter_sigma > 0
+                else 1.0
+            )
+            weights[pair] = volume * jitter
+
+        schedulable = base.schedulable.copy()
+        for m, machine in enumerate(base.machines):
+            if not state.is_schedulable_machine(machine.name):
+                schedulable[:, m] = False
+
+        return RASAProblem(
+            services=base.services,
+            machines=base.machines,
+            affinity=AffinityGraph(weights),
+            anti_affinity=base.anti_affinity,
+            schedulable=schedulable,
+            resource_types=base.resource_types,
+            current_assignment=state.placement,
+        )

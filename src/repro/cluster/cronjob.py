@@ -1,0 +1,180 @@
+"""The workflow-controlling CronJob (paper Section III-A, III-B).
+
+Orchestrates the full optimization loop every cycle:
+
+1. trigger the data collector → cluster snapshot,
+2. run the RASA algorithm on the snapshot,
+3. *dry-run gate*: skip execution unless gained affinity improves by more
+   than 3 % (churn control),
+4. compute the migration path and reallocate containers,
+5. *rollback guard*: if the reallocation skewed machine utilization past a
+   threshold, restore the previous placement, re-place via the default
+   scheduler, and tag the skewed machines unschedulable for three days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.collector import DataCollector
+from repro.cluster.scheduler import DefaultScheduler
+from repro.cluster.state import ClusterState
+from repro.core.rasa import RASAScheduler
+from repro.core.solution import Assignment
+from repro.exceptions import ClusterStateError
+from repro.migration.path import MigrationPathBuilder
+
+#: The paper's churn gate: execute only on > 3 % gained-affinity improvement.
+IMPROVEMENT_GATE = 0.03
+
+#: Three days, in seconds — the unschedulable tag duration after a rollback.
+UNSCHEDULABLE_SECONDS = 3 * 24 * 3600.0
+
+
+@dataclass
+class CycleReport:
+    """Outcome of one CronJob cycle.
+
+    Attributes:
+        cycle: Cycle index.
+        action: ``"executed"``, ``"dry_run"``, or ``"rolled_back"``.
+        gained_before: Normalized gained affinity before the cycle.
+        gained_after: Normalized gained affinity after the cycle.
+        moved_containers: Containers relocated (0 for dry runs).
+        imbalance_after: Machine-utilization standard deviation after the
+            cycle.
+    """
+
+    cycle: int
+    action: str
+    gained_before: float
+    gained_after: float
+    moved_containers: int = 0
+    imbalance_after: float = 0.0
+
+
+@dataclass
+class CronJobController:
+    """Periodic optimizer driving a simulated cluster.
+
+    Attributes:
+        state: The live cluster.
+        collector: Data collector supplying RASA inputs.
+        rasa: The RASA scheduler instance.
+        interval_seconds: Cycle period (paper: every half hour).
+        time_limit: Per-cycle solver budget.
+        improvement_gate: Minimum relative improvement to execute.
+        rollback_imbalance: Utilization-std threshold that triggers rollback;
+            None disables the guard.
+        history: Reports of every cycle run so far.
+    """
+
+    state: ClusterState
+    collector: DataCollector
+    rasa: RASAScheduler = field(default_factory=RASAScheduler)
+    default_scheduler: DefaultScheduler = field(default_factory=DefaultScheduler)
+    interval_seconds: float = 1800.0
+    time_limit: float = 10.0
+    improvement_gate: float = IMPROVEMENT_GATE
+    rollback_imbalance: float | None = None
+    sla_floor: float = 0.75
+    history: list[CycleReport] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> CycleReport:
+        """Run one full optimization cycle and return its report."""
+        cycle = len(self.history)
+        problem = self.collector.collect(self.state)
+        current = Assignment(problem, problem.current_assignment)
+        gained_before = current.gained_affinity(normalized=True)
+
+        result = self.rasa.schedule(problem, time_limit=self.time_limit)
+        gained_new = result.gained_affinity
+
+        improvement = gained_new - gained_before
+        relative = improvement / gained_before if gained_before > 0 else np.inf
+        if gained_new <= gained_before or (
+            gained_before > 0 and relative <= self.improvement_gate
+        ):
+            report = CycleReport(
+                cycle=cycle,
+                action="dry_run",
+                gained_before=gained_before,
+                gained_after=gained_before,
+                imbalance_after=self.state.utilization_imbalance(),
+            )
+            self.history.append(report)
+            return report
+
+        before_placement = self.state.placement
+        plan = MigrationPathBuilder(sla_floor=self.sla_floor).build(
+            problem, current, result.assignment
+        )
+        self._apply(plan)
+
+        imbalance = self.state.utilization_imbalance()
+        if self.rollback_imbalance is not None and imbalance > self.rollback_imbalance:
+            skewed = self._skewed_machines()
+            self.state.restore(before_placement)
+            for machine in skewed:
+                self.state.mark_unschedulable(
+                    machine, self.state.clock + UNSCHEDULABLE_SECONDS
+                )
+            self.default_scheduler.place_missing(self.state)
+            report = CycleReport(
+                cycle=cycle,
+                action="rolled_back",
+                gained_before=gained_before,
+                gained_after=self.state.assignment().gained_affinity(normalized=True),
+                moved_containers=plan.moved_containers,
+                imbalance_after=self.state.utilization_imbalance(),
+            )
+            self.history.append(report)
+            return report
+
+        # Containers the plan could not move stay with the default scheduler.
+        self.default_scheduler.place_missing(self.state)
+        report = CycleReport(
+            cycle=cycle,
+            action="executed",
+            gained_before=gained_before,
+            gained_after=self.state.assignment().gained_affinity(normalized=True),
+            moved_containers=plan.moved_containers,
+            imbalance_after=imbalance,
+        )
+        self.history.append(report)
+        return report
+
+    def run(self, cycles: int) -> list[CycleReport]:
+        """Run several cycles, advancing the simulated clock between them."""
+        reports = []
+        for _ in range(cycles):
+            reports.append(self.run_once())
+            self.state.advance(self.interval_seconds)
+        return reports
+
+    # ------------------------------------------------------------------
+    def _apply(self, plan) -> None:
+        """Replay a migration plan onto the live state, set by set."""
+        from repro.migration.plan import CommandAction
+
+        for step in plan.steps:
+            for command in step:
+                try:
+                    if command.action is CommandAction.DELETE:
+                        self.state.delete_container(command.service, command.machine)
+                    else:
+                        self.state.create_container(command.service, command.machine)
+                except ClusterStateError:
+                    # A stale snapshot can make single commands inapplicable;
+                    # the default scheduler repairs the residual afterwards.
+                    continue
+
+    def _skewed_machines(self, top_fraction: float = 0.1) -> list[str]:
+        """Most-utilized machines — the rollback's unschedulable targets."""
+        util = np.nan_to_num(self.state.utilization(), nan=0.0).mean(axis=1)
+        count = max(1, int(len(util) * top_fraction))
+        worst = np.argsort(-util)[:count]
+        return [self.state.problem.machines[m].name for m in worst]

@@ -1,0 +1,247 @@
+"""Dynamic cluster events: the churn that motivates continuous optimization.
+
+Paper Section III-A: "the cluster's state may change for various reasons,
+such as application updates or user modifications.  After these changes,
+the overall gained affinity may no longer be satisfactory" — hence the
+half-hourly CronJob.  This module supplies that churn for the simulator:
+
+* :class:`ScaleEvent` — a service's demand grows or shrinks (autoscaling,
+  rollouts); new containers land via the default scheduler, removals pick
+  the least-affine replicas.
+* :class:`MachineDrainEvent` — a machine is drained (maintenance,
+  hardware failure); its containers are evicted and re-placed.
+* :class:`TrafficShiftEvent` — traffic between a service pair changes
+  volume, shifting the affinity landscape under the optimizer's feet.
+
+Events apply against a :class:`~repro.cluster.state.ClusterState` plus the
+mutable QPS map the :class:`~repro.cluster.collector.DataCollector` reads,
+so the next CronJob cycle sees the changed world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.cluster.scheduler import DefaultScheduler
+from repro.cluster.state import ClusterState
+from repro.core.problem import Machine, RASAProblem, Service
+from repro.exceptions import ClusterStateError
+
+
+@runtime_checkable
+class ClusterEvent(Protocol):
+    """Anything that can mutate the simulated world at a point in time."""
+
+    #: Simulated time (seconds) at which the event fires.
+    at_seconds: float
+
+    def apply(self, world: "DynamicCluster") -> str:
+        """Mutate the world; returns a human-readable description."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class DynamicCluster:
+    """A cluster whose problem definition changes over time.
+
+    Wraps the live :class:`ClusterState` plus the mutable pieces the static
+    problem cannot express: the demand vector and the traffic map.  After
+    any structural change, :meth:`rebuild_problem` produces a fresh
+    :class:`RASAProblem` and re-wraps the state around it, preserving the
+    placement.
+
+    Attributes:
+        state: The live placement state.
+        qps: Mutable traffic map feeding the data collector.
+        demand_overrides: Current demands where they differ from the
+            original problem.
+    """
+
+    state: ClusterState
+    qps: dict[tuple[str, str], float]
+    demand_overrides: dict[str, int] = field(default_factory=dict)
+    drained_machines: set[str] = field(default_factory=set)
+    scheduler: DefaultScheduler = field(default_factory=DefaultScheduler)
+
+    # ------------------------------------------------------------------
+    def current_demand(self, service: str) -> int:
+        """The service's demand after any scale events."""
+        if service in self.demand_overrides:
+            return self.demand_overrides[service]
+        problem = self.state.problem
+        return problem.services[problem.service_index(service)].demand
+
+    def rebuild_problem(self) -> RASAProblem:
+        """Re-materialize the problem with current demands, traffic, and
+        machine capacities (drained machines get zero capacity), carrying
+        the placement over."""
+        old = self.state.problem
+        services = [
+            Service(
+                name=svc.name,
+                demand=self.current_demand(svc.name),
+                requests=dict(svc.requests),
+                priority=svc.priority,
+            )
+            for svc in old.services
+        ]
+        machines = []
+        for machine in old.machines:
+            if machine.name in self.drained_machines:
+                machines.append(
+                    Machine(
+                        name=machine.name,
+                        capacity={r: 0.0 for r in machine.capacity},
+                        spec=machine.spec,
+                    )
+                )
+            else:
+                machines.append(machine)
+        from repro.core.affinity import AffinityGraph
+
+        problem = RASAProblem(
+            services=services,
+            machines=machines,
+            affinity=AffinityGraph(dict(self.qps)),
+            anti_affinity=old.anti_affinity,
+            schedulable=old.schedulable,
+            resource_types=old.resource_types,
+            current_assignment=self.state.placement,
+        )
+        clock = self.state.clock
+        tags = dict(self.state.unschedulable_until)
+        self.state = ClusterState(problem, placement=problem.current_assignment)
+        self.state.advance(clock)
+        self.state.unschedulable_until.update(tags)
+        return problem
+
+
+@dataclass
+class ScaleEvent:
+    """Scale a service to a new demand.
+
+    Scale-ups place new containers via the default scheduler; scale-downs
+    remove the replicas contributing the least gained affinity first.
+    """
+
+    at_seconds: float
+    service: str
+    new_demand: int
+
+    def apply(self, world: DynamicCluster) -> str:
+        if self.new_demand <= 0:
+            raise ClusterStateError(
+                f"scale target for {self.service!r} must be positive"
+            )
+        old_demand = world.current_demand(self.service)
+        world.demand_overrides[self.service] = self.new_demand
+        problem = world.rebuild_problem()
+        state = world.state
+        s = problem.service_index(self.service)
+        placed = int(state.placement[s].sum())
+
+        if self.new_demand > placed:
+            for _ in range(self.new_demand - placed):
+                if world.scheduler.place_one(state, self.service) is None:
+                    break
+        elif self.new_demand < placed:
+            for _ in range(placed - self.new_demand):
+                machine = _least_affine_host(state, s)
+                if machine is None:
+                    break
+                state.delete_container(self.service, machine)
+        return f"scaled {self.service} {old_demand} -> {self.new_demand}"
+
+
+@dataclass
+class MachineDrainEvent:
+    """Drain a machine: evict its containers and re-place them elsewhere."""
+
+    at_seconds: float
+    machine: str
+
+    def apply(self, world: DynamicCluster) -> str:
+        state = world.state
+        problem = state.problem
+        m = problem.machine_index(self.machine)
+        evicted = 0
+        for s in np.nonzero(state.placement[:, m])[0]:
+            count = int(state.placement[s, m])
+            for _ in range(count):
+                state.delete_container(problem.services[s].name, self.machine)
+                evicted += 1
+        world.drained_machines.add(self.machine)
+        world.rebuild_problem()
+        # Eviction destinations come from the default scheduler.
+        replaced = world.scheduler.place_missing(world.state)
+        return f"drained {self.machine}: evicted {evicted}, re-placed {replaced}"
+
+
+@dataclass
+class TrafficShiftEvent:
+    """Multiply the traffic volume of one service pair."""
+
+    at_seconds: float
+    pair: tuple[str, str]
+    factor: float
+
+    def apply(self, world: DynamicCluster) -> str:
+        if self.factor <= 0:
+            raise ClusterStateError("traffic factor must be positive")
+        key = self.pair if self.pair[0] <= self.pair[1] else (self.pair[1], self.pair[0])
+        if key not in world.qps:
+            raise ClusterStateError(f"no traffic recorded between {key}")
+        world.qps[key] *= self.factor
+        world.rebuild_problem()
+        return f"traffic {key[0]}<->{key[1]} x{self.factor:g}"
+
+
+def _least_affine_host(state: ClusterState, service: int) -> str | None:
+    """Host machine whose replica of ``service`` contributes the least
+    gained affinity (the natural scale-down victim)."""
+    problem = state.problem
+    hosts = np.nonzero(state.placement[service])[0]
+    if hosts.size == 0:
+        return None
+    name = problem.services[service].name
+    neighbors = problem.affinity.neighbors(name)
+    demands = problem.demands.astype(float)
+    x = state.placement
+
+    def contribution(m: int) -> float:
+        total = 0.0
+        for other, w in neighbors.items():
+            t = problem.service_index(other)
+            before = min(x[service, m] / demands[service], x[t, m] / demands[t])
+            after = min((x[service, m] - 1) / demands[service], x[t, m] / demands[t])
+            total += w * (before - after)
+        return total
+
+    worst = min(hosts, key=lambda m: contribution(int(m)))
+    return problem.machines[int(worst)].name
+
+
+class EventSchedule:
+    """Time-ordered event list driving a dynamic simulation."""
+
+    def __init__(self, events: list[ClusterEvent] | None = None) -> None:
+        self._events: list[ClusterEvent] = sorted(
+            events or [], key=lambda e: e.at_seconds
+        )
+
+    def add(self, event: ClusterEvent) -> None:
+        """Insert an event, keeping time order."""
+        self._events.append(event)
+        self._events.sort(key=lambda e: e.at_seconds)
+
+    def due(self, now: float) -> list[ClusterEvent]:
+        """Pop every event scheduled at or before ``now``."""
+        due = [e for e in self._events if e.at_seconds <= now]
+        self._events = [e for e in self._events if e.at_seconds > now]
+        return due
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,185 @@
+"""IPC-vs-RPC network performance model for the production experiments.
+
+The paper's production deployment routes requests between collocated
+containers over inter-process communication instead of the network, and
+reports end-to-end latency and request error rates (Figs. 11–13).  Those
+testbeds are unavailable, so this module models the mechanism they measure:
+
+* a request between two services is *local* with probability equal to the
+  pair's localization ratio (its gained affinity over its weight — exactly
+  the quantity RASA maximizes);
+* local requests pay IPC latency and error rates, remote requests pay RPC
+  latency inflated by congestion noise plus network error rates.
+
+Reported metrics are normalized to a 1.0 maximum like the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.solution import Assignment
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Latency/error characteristics of the two transport paths.
+
+    Defaults are representative of same-datacenter RPC vs. local IPC:
+    IPC removes the network round trip (~5x latency factor) and virtually
+    all transport errors.
+    """
+
+    rpc_latency_ms: float = 5.0
+    ipc_latency_ms: float = 1.0
+    rpc_error_rate: float = 4e-3
+    ipc_error_rate: float = 2e-4
+    #: Multiplicative lognormal jitter applied to the RPC path per window
+    #: (congestion, retries, packet loss bursts).
+    congestion_sigma: float = 0.25
+    #: Diurnal load swing amplitude applied to QPS.
+    diurnal_amplitude: float = 0.3
+
+
+@dataclass
+class PairSeries:
+    """Measured time series for one service pair under one scenario."""
+
+    pair: tuple[str, str]
+    latency_ms: np.ndarray
+    error_rate: np.ndarray
+    qps: np.ndarray
+
+    def mean_latency(self) -> float:
+        """Average latency across the series."""
+        return float(self.latency_ms.mean())
+
+    def mean_error_rate(self) -> float:
+        """Average error rate across the series."""
+        return float(self.error_rate.mean())
+
+
+@dataclass
+class ProductionReport:
+    """Per-pair and weighted-aggregate series for one placement scenario.
+
+    Attributes:
+        scenario: Label (``"with_rasa"``, ``"without_rasa"``,
+            ``"only_collocated"``).
+        pairs: Per-pair measurement series.
+        weighted_latency_ms: QPS-weighted cluster latency per window.
+        weighted_error_rate: QPS-weighted cluster error rate per window.
+    """
+
+    scenario: str
+    pairs: list[PairSeries] = field(default_factory=list)
+    weighted_latency_ms: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    weighted_error_rate: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+class NetworkSimulator:
+    """Generates latency/error time series for service pairs under a placement.
+
+    Args:
+        params: Transport characteristics.
+        seed: RNG seed; measurement noise is deterministic given the seed.
+    """
+
+    def __init__(self, params: NetworkParameters | None = None, seed: int = 0) -> None:
+        self.params = params or NetworkParameters()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def pair_series(
+        self,
+        pair: tuple[str, str],
+        localization: float,
+        base_qps: float,
+        num_windows: int,
+        rng: np.random.Generator,
+    ) -> PairSeries:
+        """Simulate one pair's series given its localization ratio.
+
+        Args:
+            pair: Service names.
+            localization: Fraction of the pair's traffic served locally
+                (0 = all RPC, 1 = all IPC).
+            base_qps: The pair's average traffic volume.
+            num_windows: Measurement windows to produce.
+            rng: Random source.
+        """
+        p = self.params
+        localization = float(np.clip(localization, 0.0, 1.0))
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        t = np.arange(num_windows)
+        qps = base_qps * (
+            1.0 + p.diurnal_amplitude * np.sin(2.0 * np.pi * t / max(num_windows, 1) + phase)
+        )
+        congestion = rng.lognormal(0.0, p.congestion_sigma, size=num_windows)
+        rpc_latency = p.rpc_latency_ms * congestion
+        latency = localization * p.ipc_latency_ms + (1.0 - localization) * rpc_latency
+        error_noise = rng.lognormal(0.0, p.congestion_sigma, size=num_windows)
+        errors = (
+            localization * p.ipc_error_rate
+            + (1.0 - localization) * p.rpc_error_rate * error_noise
+        )
+        return PairSeries(pair=pair, latency_ms=latency, error_rate=errors, qps=qps)
+
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        scenario: str,
+        assignment: Assignment,
+        pair_qps: dict[tuple[str, str], float],
+        num_windows: int = 48,
+        only_collocated: bool = False,
+    ) -> ProductionReport:
+        """Measure every pair under a placement and aggregate by QPS weight.
+
+        Args:
+            scenario: Report label.
+            assignment: The placement whose localization ratios drive the
+                IPC/RPC mix.
+            pair_qps: Traffic volume per service pair (weights for the
+                Fig. 13 aggregate).
+            num_windows: Measurement windows.
+            only_collocated: Measure only the collocated request subset —
+                the paper's upper-bound scenario where localization is 1.0
+                for every pair that has any collocated containers.
+        """
+        rng = np.random.default_rng(self.seed)
+        report = ProductionReport(scenario=scenario)
+        total_qps = sum(pair_qps.values()) or 1.0
+        latency_acc = np.zeros(num_windows)
+        error_acc = np.zeros(num_windows)
+        for pair in sorted(pair_qps):
+            base_qps = pair_qps[pair]
+            localization = assignment.localization_ratio(*pair)
+            if only_collocated:
+                localization = 1.0
+            series = self.pair_series(pair, localization, base_qps, num_windows, rng)
+            report.pairs.append(series)
+            weight = base_qps / total_qps
+            latency_acc += weight * series.latency_ms
+            error_acc += weight * series.error_rate
+        report.weighted_latency_ms = latency_acc
+        report.weighted_error_rate = error_acc
+        return report
+
+
+def normalize_series(*series: np.ndarray) -> list[np.ndarray]:
+    """Scale several series jointly so the global maximum is 1.0 (the
+    normalization used in the paper's production figures)."""
+    peak = max((float(s.max()) for s in series if s.size), default=1.0)
+    if peak <= 0:
+        peak = 1.0
+    return [s / peak for s in series]
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """``(baseline - improved) / baseline`` guarded against zero baselines."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - improved) / baseline

@@ -1,0 +1,156 @@
+"""Mutable cluster state for the control-plane simulator.
+
+Wraps a :class:`~repro.core.problem.RASAProblem` with the live container
+placement and traffic metrics, and offers the container-level operations the
+CronJob workflow performs (delete/create, snapshots, utilization queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import RASAProblem
+from repro.core.solution import Assignment
+from repro.exceptions import ClusterStateError
+
+
+@dataclass
+class ClusterSnapshot:
+    """Immutable view of the cluster at one instant (the Data Collector's
+    output: service list, machine list, deployments, traffic metrics)."""
+
+    problem: RASAProblem
+    assignment: Assignment
+    timestamp: float
+
+
+class ClusterState:
+    """Live cluster: placement matrix plus resource bookkeeping.
+
+    Args:
+        problem: The static cluster description (services, machines,
+            affinity from traffic metrics, constraints).
+        placement: Initial container placement; defaults to the problem's
+            recorded current assignment or an empty cluster.
+    """
+
+    def __init__(self, problem: RASAProblem, placement: np.ndarray | None = None) -> None:
+        self.problem = problem
+        if placement is None:
+            if problem.current_assignment is not None:
+                placement = problem.current_assignment
+            else:
+                placement = np.zeros(
+                    (problem.num_services, problem.num_machines), dtype=np.int64
+                )
+        self._x = np.asarray(placement, dtype=np.int64).copy()
+        self._clock = 0.0
+        self.unschedulable_until: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Simulated time in seconds since state creation."""
+        return self._clock
+
+    def advance(self, seconds: float) -> None:
+        """Advance the simulated clock."""
+        if seconds < 0:
+            raise ClusterStateError("cannot advance time backwards")
+        self._clock += seconds
+
+    # ------------------------------------------------------------------
+    # Container operations
+    # ------------------------------------------------------------------
+    def delete_container(self, service: str, machine: str) -> None:
+        """Remove one container; raises if none exists there."""
+        s = self.problem.service_index(service)
+        m = self.problem.machine_index(machine)
+        if self._x[s, m] <= 0:
+            raise ClusterStateError(
+                f"no container of {service!r} on {machine!r} to delete"
+            )
+        self._x[s, m] -= 1
+
+    def create_container(self, service: str, machine: str) -> None:
+        """Add one container; raises when capacity or constraints forbid it."""
+        s = self.problem.service_index(service)
+        m = self.problem.machine_index(machine)
+        if not self.problem.schedulable[s, m]:
+            raise ClusterStateError(f"{machine!r} is not schedulable for {service!r}")
+        request = self.problem.requests_matrix[s]
+        if (self.free_resources()[m] < request - 1e-9).any():
+            raise ClusterStateError(
+                f"insufficient free resources on {machine!r} for {service!r}"
+            )
+        for rule_index, rule in enumerate(self.problem.anti_affinity):
+            if service in rule.services:
+                members = [self.problem.service_index(name) for name in rule.services]
+                if self._x[members, m].sum() + 1 > rule.limit:
+                    raise ClusterStateError(
+                        f"anti-affinity rule {rule_index} blocks {service!r} on {machine!r}"
+                    )
+        self._x[s, m] += 1
+
+    def mark_unschedulable(self, machine: str, until: float) -> None:
+        """Tag a machine as off-limits for optimization until a deadline
+        (the paper's 3-day churn guard after a rollback)."""
+        self.unschedulable_until[machine] = max(
+            self.unschedulable_until.get(machine, 0.0), until
+        )
+
+    def is_schedulable_machine(self, machine: str) -> bool:
+        """Whether the optimizer may currently target the machine."""
+        return self.unschedulable_until.get(machine, 0.0) <= self._clock
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def placement(self) -> np.ndarray:
+        """Copy of the current placement matrix."""
+        return self._x.copy()
+
+    def assignment(self) -> Assignment:
+        """Current placement as an :class:`~repro.core.solution.Assignment`."""
+        return Assignment(self.problem, self._x)
+
+    def snapshot(self) -> ClusterSnapshot:
+        """The Data Collector's output for the current instant."""
+        return ClusterSnapshot(
+            problem=self.problem,
+            assignment=self.assignment(),
+            timestamp=self._clock,
+        )
+
+    def free_resources(self) -> np.ndarray:
+        """Free capacity per machine, shape ``(M, R)``."""
+        used = self._x.T.astype(float) @ self.problem.requests_matrix
+        return self.problem.capacities_matrix - used
+
+    def utilization(self) -> np.ndarray:
+        """Per-machine, per-resource utilization in ``[0, 1]`` (NaN when
+        capacity is zero)."""
+        capacity = self.problem.capacities_matrix
+        used = self._x.T.astype(float) @ self.problem.requests_matrix
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(capacity > 0, used / capacity, np.nan)
+
+    def utilization_imbalance(self) -> float:
+        """Standard deviation of mean machine utilization — the skew metric
+        the rollback mechanism watches."""
+        util = np.nan_to_num(self.utilization(), nan=0.0).mean(axis=1)
+        return float(util.std())
+
+    def restore(self, placement: np.ndarray) -> None:
+        """Overwrite the placement (rollback support)."""
+        placement = np.asarray(placement, dtype=np.int64)
+        if placement.shape != self._x.shape:
+            raise ClusterStateError(
+                f"placement shape {placement.shape} != {self._x.shape}"
+            )
+        self._x = placement.copy()

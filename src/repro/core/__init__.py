@@ -1,0 +1,36 @@
+"""Core RASA problem model, objective, and the three-phase scheduler facade."""
+
+from repro.core.affinity import AffinityGraph
+from repro.core.config import RASAConfig
+from repro.core.problem import (
+    AntiAffinityRule,
+    Machine,
+    RASAProblem,
+    Service,
+)
+from repro.core.solution import Assignment, FeasibilityReport
+
+
+def __getattr__(name: str):
+    # RASAScheduler imports partitioning/selection/solvers, which import
+    # repro.core; resolve it lazily to keep the package import acyclic.
+    if name in ("RASAScheduler", "RASAResult", "SubproblemReport"):
+        from repro.core import rasa
+
+        return getattr(rasa, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AffinityGraph",
+    "AntiAffinityRule",
+    "Assignment",
+    "FeasibilityReport",
+    "Machine",
+    "RASAConfig",
+    "RASAProblem",
+    "RASAResult",
+    "RASAScheduler",
+    "Service",
+    "SubproblemReport",
+]

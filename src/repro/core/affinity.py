@@ -1,0 +1,184 @@
+"""Affinity graphs: the weighted service-to-service traffic model.
+
+The paper models affinity as a weighted undirected graph whose vertices are
+services and whose edge weights approximate the traffic volume between two
+services (Section II-B).  This module provides the graph container plus the
+per-service *total affinity* ``T(s)`` used by master-affinity partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.exceptions import ProblemValidationError
+
+
+def _canonical(u: str, v: str) -> tuple[str, str]:
+    """Return the unordered edge key for services ``u`` and ``v``."""
+    return (u, v) if u <= v else (v, u)
+
+
+class AffinityGraph:
+    """Weighted undirected graph of service affinities.
+
+    Edge keys are canonicalized so ``(a, b)`` and ``(b, a)`` refer to the
+    same edge.  Self-loops are rejected: affinity is defined between
+    *distinct* services (traffic within one service is already local).
+
+    Args:
+        weights: Mapping from service-name pairs to positive edge weights.
+    """
+
+    def __init__(self, weights: Mapping[tuple[str, str], float] | None = None) -> None:
+        self._weights: dict[tuple[str, str], float] = {}
+        self._adjacency: dict[str, dict[str, float]] = {}
+        if weights:
+            for (u, v), w in weights.items():
+                self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: str, v: str, weight: float) -> None:
+        """Add (or accumulate onto) the edge between ``u`` and ``v``.
+
+        Raises:
+            ProblemValidationError: On self-loops or non-positive weights.
+        """
+        if u == v:
+            raise ProblemValidationError(f"affinity self-loop on service {u!r}")
+        if weight <= 0:
+            raise ProblemValidationError(
+                f"affinity weight for ({u!r}, {v!r}) must be positive, got {weight}"
+            )
+        key = _canonical(u, v)
+        self._weights[key] = self._weights.get(key, 0.0) + float(weight)
+        self._adjacency.setdefault(u, {})[v] = self._weights[key]
+        self._adjacency.setdefault(v, {})[u] = self._weights[key]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of affinity edges."""
+        return len(self._weights)
+
+    @property
+    def total_affinity(self) -> float:
+        """Sum of all edge weights (the paper normalizes this to 1.0)."""
+        return sum(self._weights.values())
+
+    def weight(self, u: str, v: str) -> float:
+        """Weight of the edge between ``u`` and ``v``; 0.0 if absent."""
+        return self._weights.get(_canonical(u, v), 0.0)
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """Iterate over canonical edge keys."""
+        return iter(self._weights)
+
+    def items(self) -> Iterator[tuple[tuple[str, str], float]]:
+        """Iterate over ``((u, v), weight)`` pairs."""
+        return iter(self._weights.items())
+
+    def vertices(self) -> set[str]:
+        """Services that appear in at least one affinity edge."""
+        return set(self._adjacency)
+
+    def neighbors(self, service: str) -> dict[str, float]:
+        """Neighbors of ``service`` with the connecting edge weights."""
+        return dict(self._adjacency.get(service, {}))
+
+    def degree(self, service: str) -> int:
+        """Number of affinity edges incident to ``service``."""
+        return len(self._adjacency.get(service, {}))
+
+    def total_affinity_of(self, service: str) -> float:
+        """Per-service total affinity ``T(s) = sum of incident weights``.
+
+        This is the skew statistic behind master-affinity partitioning
+        (paper Section IV-B2 and Assumption 4.1).
+        """
+        return sum(self._adjacency.get(service, {}).values())
+
+    def services_by_total_affinity(self) -> list[tuple[str, float]]:
+        """Services sorted by decreasing ``T(s)`` (ties broken by name)."""
+        totals = [(s, self.total_affinity_of(s)) for s in self._adjacency]
+        totals.sort(key=lambda item: (-item[1], item[0]))
+        return totals
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def normalized(self) -> "AffinityGraph":
+        """Return a copy whose total affinity is scaled to 1.0.
+
+        Returns ``self``-equivalent empty graph unchanged if there are no
+        edges.
+        """
+        total = self.total_affinity
+        if total == 0:
+            return AffinityGraph()
+        return AffinityGraph({edge: w / total for edge, w in self._weights.items()})
+
+    def induced_subgraph(self, keep: Iterable[str]) -> "AffinityGraph":
+        """Subgraph containing only edges with *both* endpoints in ``keep``."""
+        keep_set = set(keep)
+        return AffinityGraph(
+            {
+                (u, v): w
+                for (u, v), w in self._weights.items()
+                if u in keep_set and v in keep_set
+            }
+        )
+
+    def cut_weight(self, part_a: Iterable[str], part_b: Iterable[str]) -> float:
+        """Total weight of edges crossing between two disjoint service sets."""
+        set_a, set_b = set(part_a), set(part_b)
+        crossing = 0.0
+        for (u, v), w in self._weights.items():
+            if (u in set_a and v in set_b) or (u in set_b and v in set_a):
+                crossing += w
+        return crossing
+
+    def partition_loss(self, parts: Iterable[Iterable[str]]) -> float:
+        """Affinity weight lost by a partition (edges across different parts).
+
+        Services absent from every part are treated as their own singleton
+        part, so edges touching them count as lost.
+        """
+        owner: dict[str, int] = {}
+        for index, part in enumerate(parts):
+            for service in part:
+                owner[service] = index
+        loss = 0.0
+        for (u, v), w in self._weights.items():
+            if owner.get(u, -1) != owner.get(v, -2):
+                loss += w
+        return loss
+
+    def to_networkx(self) -> nx.Graph:
+        """Convert to a :class:`networkx.Graph` with ``weight`` attributes."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._adjacency)
+        for (u, v), w in self._weights.items():
+            graph.add_edge(u, v, weight=w)
+        return graph
+
+    def connected_components(self) -> list[set[str]]:
+        """Connected components over services that have affinity edges."""
+        return [set(c) for c in nx.connected_components(self.to_networkx())]
+
+    def __contains__(self, edge: tuple[str, str]) -> bool:
+        return _canonical(*edge) in self._weights
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AffinityGraph(edges={self.num_edges}, vertices={len(self._adjacency)}, "
+            f"total={self.total_affinity:.4g})"
+        )

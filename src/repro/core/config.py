@@ -1,0 +1,37 @@
+"""Configuration for the RASA scheduler facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RASAConfig:
+    """Tunables of the three-phase RASA pipeline.
+
+    Attributes:
+        master_ratio: Override for the master-affinity ratio ``alpha``;
+            None selects the paper's ``45 * ln^0.66(N) / N``.
+        max_subproblem_services: Size threshold that triggers balanced
+            partitioning of a crucial service set.
+        partition_samples: Cap on the BFS partition samples per split.
+        backend: MILP backend (``"highs"`` or ``"bnb"``).
+        min_subproblem_budget: Time floor (seconds) granted to every
+            subproblem even when the overall budget is tight.
+        repair_unplaced: Whether to greedily place containers that solvers
+            failed to deploy (stands in for the cluster's default scheduler
+            picking up failed deployments, paper IV-B5).
+        local_search_seconds: Budget for an optional local-search polish of
+            the merged placement (0 disables it).  An extension beyond the
+            paper's pipeline; see DESIGN.md ablations.
+        seed: Seed for partitioning randomness.
+    """
+
+    master_ratio: float | None = None
+    max_subproblem_services: int = 48
+    partition_samples: int = 32
+    backend: str = "highs"
+    min_subproblem_budget: float = 0.5
+    repair_unplaced: bool = True
+    local_search_seconds: float = 0.0
+    seed: int = 0

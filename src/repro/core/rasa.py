@@ -1,0 +1,184 @@
+"""The RASA scheduler: partition → select → solve → merge (paper Section IV).
+
+:class:`RASAScheduler` is the package's main entry point.  It wires the
+multi-stage partitioner, an algorithm selector, and the scheduling algorithm
+pool into the full three-phase pipeline, returning the merged cluster-wide
+assignment together with per-subproblem diagnostics and an anytime
+quality-over-time trajectory (used by the Fig. 10 benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import RASAConfig
+from repro.core.problem import RASAProblem
+from repro.core.solution import Assignment
+from repro.partitioning.base import PartitionResult, Partitioner, Subproblem
+from repro.partitioning.multistage import MultiStagePartitioner
+from repro.selection.selector import AlgorithmSelector, HeuristicSelector
+from repro.solvers.base import SolveResult, Stopwatch
+from repro.solvers.column_generation import ColumnGenerationAlgorithm
+from repro.solvers.greedy import repair_unplaced
+from repro.solvers.mip import MIPAlgorithm
+
+
+@dataclass
+class SubproblemReport:
+    """Diagnostics for one solved subproblem."""
+
+    subproblem: Subproblem
+    selected_algorithm: str
+    result: SolveResult
+
+
+@dataclass
+class RASAResult:
+    """Full outcome of one RASA scheduling run.
+
+    Attributes:
+        assignment: The merged cluster-wide placement.
+        gained_affinity: Normalized overall gained affinity in ``[0, 1]``.
+        partition: The partitioning phase's output.
+        reports: Per-subproblem algorithm choices and solve results.
+        runtime_seconds: Total wall-clock time.
+        trajectory: Cumulative ``(elapsed_seconds, normalized_gained)``
+            points recorded after each subproblem solve — RASA is an
+            anytime algorithm (halting mid-run returns the current best).
+    """
+
+    assignment: Assignment
+    gained_affinity: float
+    partition: PartitionResult
+    reports: list[SubproblemReport] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+    trajectory: list[tuple[float, float]] = field(default_factory=list)
+
+
+class RASAScheduler:
+    """Three-phase RASA pipeline over a pluggable partitioner and selector.
+
+    Args:
+        config: Pipeline tunables; defaults to :class:`RASAConfig` defaults.
+        partitioner: Service partitioner; defaults to the paper's
+            multi-stage partitioner configured from ``config``.
+        selector: Algorithm selector; defaults to the heuristic rule (train
+            and pass a :class:`~repro.selection.selector.GCNSelector` for
+            the paper's full configuration).
+    """
+
+    def __init__(
+        self,
+        config: RASAConfig | None = None,
+        partitioner: Partitioner | None = None,
+        selector: AlgorithmSelector | None = None,
+    ) -> None:
+        self.config = config or RASAConfig()
+        self.partitioner = partitioner or MultiStagePartitioner(
+            master_ratio=self.config.master_ratio,
+            max_subproblem_services=self.config.max_subproblem_services,
+            max_samples=self.config.partition_samples,
+            seed=self.config.seed,
+        )
+        self.selector = selector or HeuristicSelector()
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        problem: RASAProblem,
+        time_limit: float | None = None,
+    ) -> RASAResult:
+        """Compute a new cluster-wide placement maximizing gained affinity.
+
+        Args:
+            problem: The cluster instance.
+            time_limit: Overall wall-clock budget; split across subproblems
+                proportionally to their total affinity (important shards
+                get more time).
+
+        Returns:
+            The merged placement plus per-phase diagnostics.
+        """
+        watch = Stopwatch(time_limit)
+        partition = self.partitioner.partition(problem)
+
+        merged = partition.trivial_assignment.copy()
+        assignment = Assignment(problem, merged)
+        trajectory = [(watch.elapsed, assignment.gained_affinity(normalized=True))]
+
+        budgets = self._budgets(partition.subproblems, watch)
+        reports: list[SubproblemReport] = []
+        # Solve high-affinity shards first so early stopping keeps the most
+        # valuable improvements.
+        order = sorted(
+            range(len(partition.subproblems)),
+            key=lambda i: -partition.subproblems[i].total_affinity,
+        )
+        for i in order:
+            subproblem = partition.subproblems[i]
+            if watch.expired:
+                break
+            label = self.selector.select(subproblem)
+            algorithm = self._algorithm(label)
+            budget = budgets[i]
+            remaining = watch.remaining
+            if remaining is not None:
+                budget = max(self.config.min_subproblem_budget, min(budget, remaining))
+            result = algorithm.solve(subproblem.problem, time_limit=budget)
+            reports.append(
+                SubproblemReport(
+                    subproblem=subproblem,
+                    selected_algorithm=label,
+                    result=result,
+                )
+            )
+            assignment = assignment.merge_subassignment(
+                result.assignment,
+                subproblem.service_names,
+                subproblem.machine_names,
+            )
+            trajectory.append((watch.elapsed, assignment.gained_affinity(normalized=True)))
+
+        if self.config.repair_unplaced:
+            repaired = repair_unplaced(problem, assignment.x)
+            assignment = Assignment(problem, repaired)
+            trajectory.append((watch.elapsed, assignment.gained_affinity(normalized=True)))
+
+        if self.config.local_search_seconds > 0:
+            from repro.solvers.local_search import LocalSearchImprover
+
+            assignment = LocalSearchImprover().improve(
+                problem, assignment, time_limit=self.config.local_search_seconds
+            )
+            trajectory.append((watch.elapsed, assignment.gained_affinity(normalized=True)))
+
+        return RASAResult(
+            assignment=assignment,
+            gained_affinity=assignment.gained_affinity(normalized=True),
+            partition=partition,
+            reports=reports,
+            runtime_seconds=watch.elapsed,
+            trajectory=trajectory,
+        )
+
+    # ------------------------------------------------------------------
+    def _algorithm(self, label: str):
+        if label == "mip":
+            return MIPAlgorithm(backend=self.config.backend)
+        return ColumnGenerationAlgorithm(backend=self.config.backend)
+
+    def _budgets(self, subproblems: list[Subproblem], watch: Stopwatch) -> list[float]:
+        """Split the remaining budget proportionally to shard affinity."""
+        if watch.time_limit is None:
+            return [np.inf] * len(subproblems)
+        remaining = watch.remaining or 0.0
+        weights = np.array([max(sp.total_affinity, 1e-12) for sp in subproblems])
+        if weights.sum() == 0 or not subproblems:
+            return [remaining] * len(subproblems)
+        shares = weights / weights.sum()
+        return [
+            max(self.config.min_subproblem_budget, float(share * remaining))
+            for share in shares
+        ]

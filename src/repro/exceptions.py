@@ -1,0 +1,48 @@
+"""Exception hierarchy for the RASA reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ProblemValidationError(ReproError):
+    """A :class:`~repro.core.problem.RASAProblem` failed structural validation.
+
+    Raised when the cluster description is internally inconsistent — e.g. an
+    affinity edge references an unknown service, a resource vector has the
+    wrong length, or a demand is negative.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """No feasible container-to-machine assignment exists for the problem."""
+
+
+class SolverError(ReproError):
+    """An optimization backend failed in an unexpected way."""
+
+
+class SolverTimeoutError(SolverError):
+    """A solver exceeded its time budget without an incumbent solution."""
+
+
+class MigrationError(ReproError):
+    """The migration path algorithm could not produce a valid plan."""
+
+
+class TrainingError(ReproError):
+    """Model training received invalid data or failed to converge."""
+
+
+class ClusterStateError(ReproError):
+    """A simulated cluster operation violated an invariant.
+
+    Examples: deleting a container that does not exist, or creating a
+    container on a machine without sufficient free resources.
+    """

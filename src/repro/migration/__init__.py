@@ -1,0 +1,15 @@
+"""Migration paths (Algorithm 2): plans, the path builder, and the executor."""
+
+from repro.migration.executor import ExecutionTrace, MigrationExecutor
+from repro.migration.path import MigrationPathBuilder, naive_plan
+from repro.migration.plan import Command, CommandAction, MigrationPlan
+
+__all__ = [
+    "Command",
+    "CommandAction",
+    "ExecutionTrace",
+    "MigrationExecutor",
+    "MigrationPathBuilder",
+    "MigrationPlan",
+    "naive_plan",
+]

@@ -1,0 +1,24 @@
+"""From-scratch graph learning: GCN/MLP classifiers, Adam, feature graphs."""
+
+from repro.ml.features import (
+    NUM_FEATURES,
+    FeatureGraph,
+    build_feature_graph,
+    mean_feature_vector,
+    normalize_adjacency,
+)
+from repro.ml.gcn import LABELS, GCNClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.optim import Adam
+
+__all__ = [
+    "Adam",
+    "FeatureGraph",
+    "GCNClassifier",
+    "LABELS",
+    "MLPClassifier",
+    "NUM_FEATURES",
+    "build_feature_graph",
+    "mean_feature_vector",
+    "normalize_adjacency",
+]

@@ -1,0 +1,97 @@
+"""Feature graphs: the GCN classifier's view of a subproblem.
+
+Paper Section IV-D: for subproblem ``k`` the feature graph is
+``(S_k, E_k, F_k)`` — the induced affinity subgraph plus a per-service
+feature matrix whose rows are ``[r_s, d_s]`` (resource demand and container
+count).  This module materializes that as numpy arrays with the normalized
+adjacency the GCN consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partitioning.base import Subproblem
+
+
+@dataclass
+class FeatureGraph:
+    """Numeric representation of one subproblem for graph classification.
+
+    Attributes:
+        adjacency_hat: Symmetrically normalized adjacency with self-loops,
+            ``D^-1/2 (A + I) D^-1/2``; shape ``(n, n)``.
+        features: Per-service features, shape ``(n, num_features)``.
+        num_services: Vertex count ``n``.
+        num_machines: Machines allotted to the subproblem (used by
+            rule-based selectors, not by the GCN input itself).
+    """
+
+    adjacency_hat: np.ndarray
+    features: np.ndarray
+    num_services: int
+    num_machines: int
+
+
+#: Features per service: [total resource demand, container count],
+#: log-scaled; matches the paper's F_k rows [r_s, d_s].
+NUM_FEATURES = 2
+
+
+def build_feature_graph(subproblem: Subproblem) -> FeatureGraph:
+    """Build the feature graph of a subproblem.
+
+    Edge weights are normalized by the subgraph's maximum weight so the
+    adjacency is scale-free across clusters; features are ``log1p``-scaled
+    (demands and resource totals vary over orders of magnitude).
+    """
+    problem = subproblem.problem
+    n = problem.num_services
+    adjacency = np.zeros((n, n))
+    max_weight = 0.0
+    for (u, v), w in problem.affinity.items():
+        max_weight = max(max_weight, w)
+    for (u, v), w in problem.affinity.items():
+        i = problem.service_index(u)
+        j = problem.service_index(v)
+        normalized = w / max_weight if max_weight > 0 else 0.0
+        adjacency[i, j] = normalized
+        adjacency[j, i] = normalized
+
+    features = np.zeros((n, NUM_FEATURES))
+    for i in range(n):
+        resource_total = float(problem.requests_matrix[i].sum())
+        features[i, 0] = np.log1p(resource_total)
+        features[i, 1] = np.log1p(float(problem.demands[i]))
+
+    return FeatureGraph(
+        adjacency_hat=normalize_adjacency(adjacency),
+        features=features,
+        num_services=n,
+        num_machines=problem.num_machines,
+    )
+
+
+def normalize_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Kipf & Welling renormalization: ``D^-1/2 (A + I) D^-1/2``."""
+    n = adjacency.shape[0]
+    with_loops = adjacency + np.eye(n)
+    degree = with_loops.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    return with_loops * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def mean_feature_vector(graph: FeatureGraph) -> np.ndarray:
+    """Topology-free summary used by the MLP baseline selector.
+
+    Mean of each node feature plus the service and machine counts — exactly
+    the "take the mean value of each feature" reduction the paper ablates.
+    """
+    return np.concatenate(
+        [
+            graph.features.mean(axis=0),
+            [np.log1p(graph.num_services), np.log1p(graph.num_machines)],
+        ]
+    )

@@ -1,0 +1,55 @@
+"""Optimizers for the from-scratch neural networks.
+
+The paper trains its GCN classifier with standard deep-learning tooling;
+PyTorch is unavailable offline, so this module provides a minimal Adam
+implementation operating on flat lists of numpy parameter arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015) over a list of numpy arrays.
+
+    Args:
+        params: Parameter arrays, updated in place by :meth:`step`.
+        learning_rate: Step size.
+        beta1: First-moment decay.
+        beta2: Second-moment decay.
+        epsilon: Denominator fuzz factor.
+    """
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        learning_rate: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.params = params
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        """Apply one update given gradients parallel to ``params``."""
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for i, (param, grad) in enumerate(zip(self.params, grads)):
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,30 @@
+"""Service partitioning: the paper's multi-stage pipeline plus baselines."""
+
+from repro.partitioning.base import PartitionResult, Partitioner, Subproblem
+from repro.partitioning.kahip_like import KahipLikePartitioner
+from repro.partitioning.multistage import MultiStagePartitioner, NoPartitioner
+from repro.partitioning.random_partition import RandomPartitioner
+from repro.partitioning.stages import (
+    balanced_partition,
+    default_master_ratio,
+    master_affinity_share,
+    split_compatibility,
+    split_master,
+    split_non_affinity,
+)
+
+__all__ = [
+    "KahipLikePartitioner",
+    "MultiStagePartitioner",
+    "NoPartitioner",
+    "PartitionResult",
+    "Partitioner",
+    "RandomPartitioner",
+    "Subproblem",
+    "balanced_partition",
+    "default_master_ratio",
+    "master_affinity_share",
+    "split_compatibility",
+    "split_master",
+    "split_non_affinity",
+]

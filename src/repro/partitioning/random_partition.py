@@ -1,0 +1,44 @@
+"""RANDOM-PARTITION baseline (paper Section V-B).
+
+Uniformly random split of the service set into equally sized subproblems,
+ignoring the affinity structure entirely.  This is the partitioning style of
+granular-allocation systems like POP, and the paper shows it loses badly on
+skewed affinity graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import RASAProblem
+from repro.partitioning.base import PartitionResult
+from repro.partitioning.multistage import finish_partition
+from repro.solvers.base import Stopwatch
+
+
+class RandomPartitioner:
+    """Uniform random service partitioning.
+
+    Args:
+        max_subproblem_services: Target subproblem size (determines the
+            number of parts).
+        seed: RNG seed.
+    """
+
+    name = "random"
+
+    def __init__(self, max_subproblem_services: int = 48, seed: int = 0) -> None:
+        self.max_subproblem_services = max_subproblem_services
+        self.seed = seed
+
+    def partition(self, problem: RASAProblem) -> PartitionResult:
+        """Shuffle all services and chop them into equal parts."""
+        watch = Stopwatch()
+        rng = np.random.default_rng(self.seed)
+        names = [s.name for s in problem.services]
+        order = rng.permutation(len(names))
+        num_parts = max(1, int(np.ceil(len(names) / self.max_subproblem_services)))
+        crucial_sets: list[list[str]] = [[] for _ in range(num_parts)]
+        for position, idx in enumerate(order):
+            crucial_sets[position % num_parts].append(names[idx])
+        return finish_partition(problem, crucial_sets, [], watch)

@@ -1,0 +1,295 @@
+"""The four partitioning stages of the multi-stage technique (paper IV-B).
+
+Each stage is a pure function over service-name sets so it can be unit
+tested in isolation; :mod:`repro.partitioning.multistage` wires them into
+the full pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.affinity import AffinityGraph
+from repro.core.problem import RASAProblem
+
+#: Paper's empirically chosen master-ratio coefficients (Section V-B):
+#: ``alpha = 45 * ln^0.66(N) / N``.
+MASTER_RATIO_COEFFICIENT = 45.0
+MASTER_RATIO_LOG_EXPONENT = 0.66
+
+
+# ----------------------------------------------------------------------
+# Stage 1 — non-affinity partitioning (IV-B1)
+# ----------------------------------------------------------------------
+def split_non_affinity(problem: RASAProblem) -> tuple[list[str], list[str]]:
+    """Split services into the affinity set and the non-affinity set.
+
+    Services without any affinity edge can never contribute gained affinity,
+    so they are trivial by construction.
+
+    Returns:
+        ``(affinity_set, non_affinity_set)`` in problem service order.
+    """
+    with_affinity = problem.affinity.vertices()
+    affinity_set = [s.name for s in problem.services if s.name in with_affinity]
+    non_affinity_set = [s.name for s in problem.services if s.name not in with_affinity]
+    return affinity_set, non_affinity_set
+
+
+# ----------------------------------------------------------------------
+# Stage 2 — master-affinity partitioning (IV-B2)
+# ----------------------------------------------------------------------
+def default_master_ratio(num_services: int) -> float:
+    """The paper's production master ratio ``45 * ln^0.66(N) / N``.
+
+    Clamped to ``(0, 1]``; for tiny clusters the formula exceeds 1 and every
+    affinity service is a master.
+    """
+    if num_services <= 1:
+        return 1.0
+    ratio = (
+        MASTER_RATIO_COEFFICIENT
+        * math.log(num_services) ** MASTER_RATIO_LOG_EXPONENT
+        / num_services
+    )
+    return min(1.0, max(ratio, 1.0 / num_services))
+
+
+def split_master(
+    problem: RASAProblem,
+    affinity_set: list[str],
+    master_ratio: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Split the affinity set into master and non-master services.
+
+    The top ``floor(alpha * N)`` services by total affinity ``T(s)`` are
+    masters (``N`` is the *total* service count, matching the paper's
+    ``|alpha N|`` with the ratio defined against the whole cluster).
+
+    Args:
+        problem: The instance (supplies ``N`` and ``T(s)``).
+        affinity_set: Output of :func:`split_non_affinity`.
+        master_ratio: Override for ``alpha``; defaults to the paper formula.
+
+    Returns:
+        ``(master_services, non_master_services)``, masters sorted by
+        decreasing total affinity.
+    """
+    if master_ratio is None:
+        master_ratio = default_master_ratio(problem.num_services)
+    count = int(master_ratio * problem.num_services)
+    count = max(1, min(count, len(affinity_set)))
+    ranked = sorted(
+        affinity_set,
+        key=lambda s: (-problem.affinity.total_affinity_of(s), s),
+    )
+    masters = ranked[:count]
+    non_masters = ranked[count:]
+    return masters, non_masters
+
+
+def master_affinity_share(problem: RASAProblem, masters: list[str]) -> float:
+    """Fraction of total affinity covered by edges inside the master set."""
+    total = problem.affinity.total_affinity
+    if total == 0:
+        return 0.0
+    inside = problem.affinity.induced_subgraph(masters).total_affinity
+    return inside / total
+
+
+# ----------------------------------------------------------------------
+# Stage 3 — compatibility partitioning (IV-B3)
+# ----------------------------------------------------------------------
+def split_compatibility(problem: RASAProblem, services: list[str]) -> list[list[str]]:
+    """Decompose services into blocks with disjoint compatible machine sets.
+
+    Two services belong to the same block iff their compatible machine sets
+    intersect (transitively): this is the block decomposition of the
+    schedulability matrix ``b``.  Services with *no* compatible machine form
+    singleton blocks (they can never be placed, so they stay isolated).
+    """
+    # Union-find over machines; each service unions all its machines.
+    parent = list(range(problem.num_machines))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    service_machines: dict[str, np.ndarray] = {}
+    for name in services:
+        s = problem.service_index(name)
+        machines = np.nonzero(problem.schedulable[s])[0]
+        service_machines[name] = machines
+        for m in machines[1:]:
+            union(int(machines[0]), int(m))
+
+    blocks: dict[int, list[str]] = {}
+    isolated: list[list[str]] = []
+    for name in services:
+        machines = service_machines[name]
+        if machines.size == 0:
+            isolated.append([name])
+            continue
+        root = find(int(machines[0]))
+        blocks.setdefault(root, []).append(name)
+    return list(blocks.values()) + isolated
+
+
+# ----------------------------------------------------------------------
+# Stage 4 — loss-minimization balanced partitioning (IV-B4)
+# ----------------------------------------------------------------------
+def balanced_partition(
+    graph: AffinityGraph,
+    services: list[str],
+    num_parts: int,
+    rng: np.random.Generator,
+    max_samples: int | None = None,
+    balance_factor: float = 2.0,
+) -> list[list[str]]:
+    """The paper's BFS-seeded sampling heuristic for balanced min-loss cuts.
+
+    Repeats ``|E|`` times (capped by ``max_samples``): sample ``h`` seed
+    services, run a synchronized multi-source BFS over the affinity graph,
+    and assign each service to the seed that reaches it first.  Partitions
+    failing the balance condition (largest part more than ``balance_factor``
+    times the smallest) are discarded; among the survivors the one with the
+    smallest affinity loss across parts wins.  Falls back to the most
+    balanced sample when no sample satisfies the condition.
+
+    Args:
+        graph: Affinity graph restricted to ``services`` (extra vertices are
+            ignored).
+        services: Services to split.
+        num_parts: Number of seeds ``h``.
+        rng: Random source (determinism for tests and benchmarks).
+        max_samples: Cap on the number of sampled partitions; defaults to
+            ``max(|E|, 1)`` exactly as in the paper, which callers usually
+            cap for speed.
+        balance_factor: Balance condition multiplier (paper uses 2).
+
+    Returns:
+        ``num_parts`` disjoint service lists covering ``services``.
+    """
+    if num_parts <= 1 or len(services) <= num_parts:
+        return [list(services)] if num_parts <= 1 else [[s] for s in services]
+
+    service_set = set(services)
+    adjacency: dict[str, list[str]] = {s: [] for s in services}
+    edges = 0
+    for (u, v), _w in graph.items():
+        if u in service_set and v in service_set:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+            edges += 1
+
+    samples = max(edges, 1)
+    if max_samples is not None:
+        samples = min(samples, max_samples)
+
+    candidates: list[tuple[float, float, list[list[str]]]] = []
+    ordered = sorted(services)
+    for _ in range(samples):
+        seeds = [ordered[i] for i in rng.choice(len(ordered), size=num_parts, replace=False)]
+        parts = _multi_source_bfs(adjacency, ordered, seeds)
+        sizes = [len(p) for p in parts]
+        imbalance = max(sizes) / max(min(sizes), 1)
+        loss = graph.partition_loss(parts)
+        candidates.append((imbalance, loss, parts))
+
+    # Tiered selection: prefer min loss among balanced samples, then among
+    # progressively relaxed balance tiers, so a lossy-but-balanced cut never
+    # beats a near-lossless one that is only mildly imbalanced.
+    for factor in (balance_factor, balance_factor * 2, np.inf):
+        eligible = [c for c in candidates if c[0] <= factor]
+        if eligible:
+            return min(eligible, key=lambda c: (c[1], c[0]))[2]
+    raise AssertionError("unreachable: the infinite tier always matches")
+
+
+def _multi_source_bfs(
+    adjacency: dict[str, list[str]],
+    services: list[str],
+    seeds: list[str],
+) -> list[list[str]]:
+    """Synchronized BFS from each seed; first visitor claims the vertex.
+
+    Services unreachable from every seed are round-robined onto the smallest
+    parts to preserve the cover property.
+    """
+    owner: dict[str, int] = {seed: i for i, seed in enumerate(seeds)}
+    frontiers: list[list[str]] = [[seed] for seed in seeds]
+    while any(frontiers):
+        next_frontiers: list[list[str]] = [[] for _ in seeds]
+        for i, frontier in enumerate(frontiers):
+            for u in frontier:
+                for v in adjacency.get(u, []):
+                    if v not in owner:
+                        owner[v] = i
+                        next_frontiers[i].append(v)
+        frontiers = next_frontiers
+
+    parts: list[list[str]] = [[] for _ in seeds]
+    unreached = []
+    for s in services:
+        if s in owner:
+            parts[owner[s]].append(s)
+        else:
+            unreached.append(s)
+    # Attach unreached services component-by-component so no affinity edge
+    # between them is cut by the fallback placement.
+    for component in _components(adjacency, unreached):
+        smallest = min(range(len(parts)), key=lambda i: len(parts[i]))
+        parts[smallest].extend(sorted(component))
+    return parts
+
+
+def _components(adjacency: dict[str, list[str]], services: list[str]) -> list[set[str]]:
+    """Connected components of ``services`` within ``adjacency``."""
+    remaining = set(services)
+    components: list[set[str]] = []
+    while remaining:
+        seed = remaining.pop()
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            u = frontier.pop()
+            for v in adjacency.get(u, []):
+                if v in remaining:
+                    remaining.discard(v)
+                    component.add(v)
+                    frontier.append(v)
+        components.append(component)
+    return components
+
+
+def pack_components(
+    components: list[list[str]],
+    max_size: int,
+) -> list[list[str]]:
+    """Bin-pack affinity components into service sets of at most ``max_size``.
+
+    Components are placed first-fit-decreasing; since no affinity edge
+    crosses components, merging them into one subproblem loses nothing
+    while reducing the number of subproblems to solve.  Oversized
+    components must be split by the caller before packing.
+    """
+    bins: list[list[str]] = []
+    for component in sorted(components, key=len, reverse=True):
+        placed = False
+        for chosen in bins:
+            if len(chosen) + len(component) <= max_size:
+                chosen.extend(component)
+                placed = True
+                break
+        if not placed:
+            bins.append(list(component))
+    return bins

@@ -1,0 +1,29 @@
+"""Algorithm selection: CG-vs-MIP labeling and the selector policies of Fig. 8."""
+
+from repro.selection.labeling import (
+    LabeledExample,
+    build_training_set,
+    label_subproblem,
+    sample_subproblems,
+)
+from repro.selection.selector import (
+    AlgorithmSelector,
+    FixedSelector,
+    GCNSelector,
+    HeuristicSelector,
+    MLPSelector,
+    selection_accuracy,
+)
+
+__all__ = [
+    "AlgorithmSelector",
+    "FixedSelector",
+    "GCNSelector",
+    "HeuristicSelector",
+    "LabeledExample",
+    "MLPSelector",
+    "build_training_set",
+    "label_subproblem",
+    "sample_subproblems",
+    "selection_accuracy",
+]

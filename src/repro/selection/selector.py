@@ -1,0 +1,152 @@
+"""Algorithm selectors: given a subproblem, pick CG or MIP.
+
+Implements every selection policy compared in the paper's Fig. 8:
+
+* :class:`FixedSelector` — always CG or always MIP,
+* :class:`HeuristicSelector` — the paper's empirical container/machine rule,
+* :class:`MLPSelector` — topology-free learned baseline,
+* :class:`GCNSelector` — the paper's GCN-based selector.
+
+Selectors only *choose*; the algorithm pool itself lives in
+:mod:`repro.solvers`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.ml.features import build_feature_graph
+from repro.ml.gcn import GCNClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.partitioning.base import Subproblem
+from repro.selection.labeling import LabeledExample
+
+
+@runtime_checkable
+class AlgorithmSelector(Protocol):
+    """Anything that maps a subproblem to an algorithm label."""
+
+    #: Stable identifier used in benchmark tables.
+    name: str
+
+    def select(self, subproblem: Subproblem) -> str:
+        """Return ``"cg"`` or ``"mip"`` for the subproblem."""
+        ...  # pragma: no cover - protocol
+
+
+class FixedSelector:
+    """Always select the same algorithm (the CG / MIP rows of Fig. 8)."""
+
+    def __init__(self, label: str) -> None:
+        if label not in ("cg", "mip"):
+            raise ValueError(f"label must be 'cg' or 'mip', got {label!r}")
+        self.label = label
+        self.name = f"fixed-{label}"
+
+    def select(self, subproblem: Subproblem) -> str:
+        """Return the fixed label."""
+        return self.label
+
+
+class HeuristicSelector:
+    """The paper's empirical rule (HEURISTIC in Fig. 8).
+
+    Compares the average container count per service against the average
+    machine count per machine type: when services are "bigger" than machine
+    groups, patterns repeat across machines and CG pays off; otherwise the
+    instance is small enough for MIP.
+    """
+
+    name = "heuristic"
+
+    def select(self, subproblem: Subproblem) -> str:
+        """Apply the container-vs-machine-count rule."""
+        problem = subproblem.problem
+        avg_containers = float(problem.demands.mean())
+        specs: dict[str, int] = {}
+        for machine in problem.machines:
+            specs[machine.spec] = specs.get(machine.spec, 0) + 1
+        avg_machines = float(np.mean(list(specs.values()))) if specs else 0.0
+        return "cg" if avg_containers > avg_machines else "mip"
+
+
+class MLPSelector:
+    """Learned selector over mean features, ignoring topology (MLP-BASED)."""
+
+    name = "mlp"
+
+    def __init__(self, model: MLPClassifier) -> None:
+        self.model = model
+
+    def select(self, subproblem: Subproblem) -> str:
+        """Classify the subproblem's mean feature vector."""
+        return self.model.predict(build_feature_graph(subproblem))
+
+    @classmethod
+    def train(
+        cls,
+        examples: list[LabeledExample],
+        epochs: int = 300,
+        seed: int = 0,
+    ) -> "MLPSelector":
+        """Train an MLP on labeled examples and wrap it as a selector."""
+        model = MLPClassifier(seed=seed)
+        model.fit(
+            [e.graph for e in examples],
+            [e.label for e in examples],
+            epochs=epochs,
+            seed=seed,
+        )
+        return cls(model)
+
+
+class GCNSelector:
+    """The paper's GCN-based selector (GCN-BASED in Fig. 8)."""
+
+    name = "gcn"
+
+    def __init__(self, model: GCNClassifier) -> None:
+        self.model = model
+
+    def select(self, subproblem: Subproblem) -> str:
+        """Classify the subproblem's feature graph."""
+        return self.model.predict(build_feature_graph(subproblem))
+
+    @classmethod
+    def train(
+        cls,
+        examples: list[LabeledExample],
+        epochs: int = 200,
+        seed: int = 0,
+    ) -> "GCNSelector":
+        """Train a GCN on labeled examples and wrap it as a selector."""
+        model = GCNClassifier(seed=seed)
+        model.fit(
+            [e.graph for e in examples],
+            [e.label for e in examples],
+            epochs=epochs,
+            seed=seed,
+        )
+        return cls(model)
+
+
+def selection_accuracy(
+    selector: AlgorithmSelector,
+    examples: list[LabeledExample],
+    subproblems: list[Subproblem],
+) -> float:
+    """Fraction of examples where the selector picks the race winner.
+
+    ``subproblems`` must be parallel to ``examples`` (the original
+    subproblems the examples were labeled from).
+    """
+    if not examples:
+        return 0.0
+    correct = sum(
+        1
+        for example, subproblem in zip(examples, subproblems)
+        if selector.select(subproblem) == example.label
+    )
+    return correct / len(examples)

@@ -1,0 +1,259 @@
+"""Column generation algorithm for RASA (paper Section IV-C2, Algorithm 1).
+
+Solves the *cutting stock* reformulation: pick one feasible pattern per
+machine so the pattern multiplicities cover container demands and the summed
+pattern affinity values are maximized.  The loop alternates
+
+1. ``SolveCuttingStock`` — LP relaxation of the restricted master over the
+   patterns generated so far,
+2. ``GenPattern`` — per machine-group pricing that searches for a pattern
+   with positive reduced cost under the master's dual prices,
+
+until no improving pattern exists or the time budget runs out, then rounds
+the master to integrality (``Round``) and repairs any dropped containers
+with the affinity-aware greedy packer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.problem import RASAProblem
+from repro.core.solution import Assignment
+from repro.solvers.base import SolveResult, Stopwatch
+from repro.solvers.greedy import GreedyAlgorithm, repair_unplaced
+from repro.solvers.lp import LinearModel, solve_lp
+from repro.solvers.milp_backend import solve_milp
+from repro.solvers.patterns import (
+    MachineGroup,
+    Pattern,
+    group_machines,
+    patterns_from_assignment,
+    price_pattern_greedy,
+    price_pattern_mip,
+)
+
+#: Minimum reduced cost treated as an actual improvement.
+REDUCED_COST_TOLERANCE = 1e-7
+
+
+class ColumnGenerationAlgorithm:
+    """Solver-based RASA algorithm with sub-optimal quality but good scaling.
+
+    Args:
+        backend: MILP backend for pricing and final rounding.
+        pricing: ``"mip"`` for exact pricing, ``"greedy"`` for the fast
+            heuristic pricer (ablation point).
+        max_iterations: Cap on master/pricing rounds.
+        rounding_fraction: Share of the time budget reserved for the final
+            integral rounding MILP.
+        pricing_time_limit: Per-group budget for one exact pricing solve.
+    """
+
+    name = "cg"
+
+    def __init__(
+        self,
+        backend: str = "highs",
+        pricing: str = "mip",
+        max_iterations: int = 40,
+        rounding_fraction: float = 0.35,
+        pricing_time_limit: float = 2.0,
+    ) -> None:
+        if pricing not in ("mip", "greedy"):
+            raise ValueError(f"pricing must be 'mip' or 'greedy', got {pricing!r}")
+        self.backend = backend
+        self.pricing = pricing
+        self.max_iterations = max_iterations
+        self.rounding_fraction = rounding_fraction
+        self.pricing_time_limit = pricing_time_limit
+
+    # ------------------------------------------------------------------
+    def solve(self, problem: RASAProblem, time_limit: float | None = None) -> SolveResult:
+        """Run Algorithm 1 and return the best integral placement found."""
+        watch = Stopwatch(time_limit)
+        trajectory: list[tuple[float, float]] = []
+
+        groups = group_machines(problem)
+        seed = GreedyAlgorithm().solve(problem)
+        incumbent = seed.assignment
+        incumbent_obj = seed.objective
+        trajectory.append((watch.elapsed, incumbent_obj))
+
+        columns = patterns_from_assignment(problem, incumbent.x, groups)
+        seen: set[tuple[int, bytes]] = {
+            (g, p.key()) for g, patterns in columns.items() for p in patterns
+        }
+
+        cg_budget = None
+        if time_limit is not None:
+            cg_budget = time_limit * (1.0 - self.rounding_fraction)
+
+        for _iteration in range(self.max_iterations):
+            if cg_budget is not None and watch.elapsed >= cg_budget:
+                break
+            master = _build_master(problem, groups, columns)
+            lp = solve_lp(master.model)
+            if not lp.is_optimal or lp.duals_ub is None:
+                break
+            # scipy reports marginals of a minimization; negate to obtain the
+            # conventional non-negative Lagrange multipliers.
+            lam = -lp.duals_ub
+            coverage_duals = lam[: problem.num_services]
+            convexity_duals = lam[problem.num_services :]
+
+            added = False
+            for g, group in enumerate(groups):
+                if cg_budget is not None and watch.elapsed >= cg_budget:
+                    break
+                pattern = self._price(problem, group, coverage_duals)
+                if pattern is None:
+                    continue
+                reduced = pattern.value - float(coverage_duals @ pattern.counts)
+                if reduced <= convexity_duals[g] + REDUCED_COST_TOLERANCE:
+                    continue
+                key = (g, pattern.key())
+                if key in seen:
+                    continue
+                seen.add(key)
+                columns[g].append(pattern)
+                added = True
+            if not added:
+                break
+
+        rounding_limit = watch.remaining
+        rounded = _round_master(
+            problem, groups, columns, backend=self.backend, time_limit=rounding_limit
+        )
+        if rounded is not None:
+            repaired = repair_unplaced(problem, rounded)
+            candidate = Assignment(problem, repaired)
+            candidate_obj = candidate.gained_affinity()
+            if candidate_obj > incumbent_obj:
+                incumbent, incumbent_obj = candidate, candidate_obj
+        trajectory.append((watch.elapsed, incumbent_obj))
+
+        return SolveResult(
+            assignment=incumbent,
+            algorithm=self.name,
+            status="feasible",
+            runtime_seconds=watch.elapsed,
+            objective=incumbent_obj,
+            trajectory=trajectory,
+        )
+
+    def _price(
+        self, problem: RASAProblem, group: MachineGroup, duals: np.ndarray
+    ) -> Pattern | None:
+        if self.pricing == "greedy":
+            return price_pattern_greedy(problem, group, duals)
+        return price_pattern_mip(
+            problem,
+            group,
+            duals,
+            time_limit=self.pricing_time_limit,
+            backend=self.backend,
+        )
+
+
+class _Master:
+    """Restricted master model plus the column order used to decode it."""
+
+    def __init__(
+        self,
+        model: LinearModel,
+        column_order: list[tuple[int, Pattern]],
+    ) -> None:
+        self.model = model
+        self.column_order = column_order
+
+
+def _build_master(
+    problem: RASAProblem,
+    groups: list[MachineGroup],
+    columns: dict[int, list[Pattern]],
+    integral: bool = False,
+) -> _Master:
+    """Build the restricted master (LP by default, MILP when ``integral``).
+
+    Rows: ``N`` coverage rows (``sum p_s * y <= d_s``) followed by one
+    convexity row per group (``sum_l y_{g,l} <= |group|``).
+    """
+    column_order: list[tuple[int, Pattern]] = []
+    for g in range(len(groups)):
+        for pattern in columns.get(g, []):
+            column_order.append((g, pattern))
+    n_cols = len(column_order)
+    n = problem.num_services
+
+    c = np.array([-pattern.value for _g, pattern in column_order])
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for j, (g, pattern) in enumerate(column_order):
+        for s in np.nonzero(pattern.counts)[0]:
+            rows.append(int(s))
+            cols.append(j)
+            vals.append(float(pattern.counts[s]))
+        rows.append(n + g)
+        cols.append(j)
+        vals.append(1.0)
+
+    b_ub = np.concatenate(
+        [
+            problem.demands.astype(float),
+            np.array([float(group.count) for group in groups]),
+        ]
+    )
+    a_ub = sparse.csr_matrix((vals, (rows, cols)), shape=(n + len(groups), n_cols))
+
+    ub = np.array([float(groups[g].count) for g, _pattern in column_order])
+    model = LinearModel(
+        c=c,
+        a_ub=a_ub,
+        b_ub=b_ub,
+        lb=np.zeros(n_cols),
+        ub=ub,
+        integrality=np.full(n_cols, integral, dtype=bool),
+    )
+    return _Master(model, column_order)
+
+
+def _round_master(
+    problem: RASAProblem,
+    groups: list[MachineGroup],
+    columns: dict[int, list[Pattern]],
+    backend: str,
+    time_limit: float | None,
+) -> np.ndarray | None:
+    """Solve the integral restricted master and decode it to machines.
+
+    Returns:
+        An assignment matrix (possibly leaving some demand unplaced — the
+        caller repairs it), or None when the MILP produced no incumbent.
+    """
+    master = _build_master(problem, groups, columns, integral=True)
+    if master.model.num_variables == 0:
+        return None
+    result = solve_milp(
+        master.model, time_limit=time_limit, backend=backend, gap_tolerance=1e-4
+    )
+    if result.x is None:
+        return None
+
+    x = np.zeros((problem.num_services, problem.num_machines), dtype=np.int64)
+    next_slot = {g: 0 for g in range(len(groups))}
+    for j, (g, pattern) in enumerate(master.column_order):
+        multiplicity = int(round(result.x[j]))
+        group = groups[g]
+        for _ in range(multiplicity):
+            slot = next_slot[g]
+            if slot >= group.count:
+                break
+            if pattern.counts.sum() > 0:
+                machine = group.machine_indices[slot]
+                x[:, machine] += pattern.counts
+                next_slot[g] = slot + 1
+    return x

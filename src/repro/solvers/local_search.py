@@ -1,0 +1,130 @@
+"""Local-search polish for RASA placements.
+
+The paper's future work calls for more high-quality-high-efficiency
+solver-based algorithms; this module provides the classical complement to
+the solver pool: a hill climber over single-container relocations that
+strictly improve gained affinity while preserving feasibility.  It is
+cheap, anytime, and used as an optional post-pass of the RASA pipeline
+(``RASAConfig.local_search_seconds``) and as an ablation subject.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import RASAProblem
+from repro.core.solution import Assignment
+from repro.solvers.base import SolveResult, Stopwatch
+from repro.solvers.greedy import PackingState, neighbor_table
+
+
+class LocalSearchImprover:
+    """Strict-improvement hill climbing over single-container moves.
+
+    Args:
+        max_rounds: Full passes over candidate containers per call.
+        candidate_services: Optional cap on how many services (by total
+            affinity, descending) are considered movable — the skew means
+            the head services carry nearly all improvable affinity.
+    """
+
+    name = "local-search"
+
+    def __init__(self, max_rounds: int = 3, candidate_services: int | None = 64) -> None:
+        self.max_rounds = max_rounds
+        self.candidate_services = candidate_services
+
+    def improve(
+        self,
+        problem: RASAProblem,
+        assignment: Assignment,
+        time_limit: float | None = None,
+    ) -> Assignment:
+        """Return an assignment with gained affinity >= the input's.
+
+        Only relocations that keep every constraint satisfied are applied;
+        the result is feasible whenever the input is.
+        """
+        watch = Stopwatch(time_limit)
+        state = PackingState(problem, assignment.x)
+        neighbors = neighbor_table(problem)
+
+        movable = [
+            s
+            for s, _total in sorted(
+                (
+                    (s, problem.affinity.total_affinity_of(problem.services[s].name))
+                    for s in range(problem.num_services)
+                ),
+                key=lambda item: -item[1],
+            )
+            if neighbors[s]
+        ]
+        if self.candidate_services is not None:
+            movable = movable[: self.candidate_services]
+
+        improved = True
+        rounds = 0
+        while improved and rounds < self.max_rounds and not watch.expired:
+            improved = False
+            rounds += 1
+            for s in movable:
+                if watch.expired:
+                    break
+                if self._improve_service(problem, state, neighbors, s):
+                    improved = True
+        return Assignment(problem, state.x)
+
+    # ------------------------------------------------------------------
+    def _improve_service(
+        self,
+        problem: RASAProblem,
+        state: PackingState,
+        neighbors: list[list[tuple[int, float]]],
+        s: int,
+    ) -> bool:
+        """Try to move one container of ``s`` to a strictly better machine."""
+        hosts = np.nonzero(state.x[s] > 0)[0]
+        if hosts.size == 0:
+            return False
+        moved = False
+        for source in hosts:
+            # Removing from `source` changes the delta landscape; compute
+            # the loss of removal plus the gain of the best re-insertion.
+            state.remove(s, int(source))
+            delta = state.affinity_delta(s, neighbors[s])
+            mask = state.feasible_machines(s)
+            delta[~mask] = -np.inf
+            best = int(np.argmax(delta))
+            if delta[best] > delta[int(source)] + 1e-12 and best != int(source):
+                state.place(s, best)
+                moved = True
+            else:
+                state.place(s, int(source))  # undo
+        return moved
+
+
+class LocalSearchAlgorithm:
+    """Greedy + local search as a standalone pool member (ablation aid)."""
+
+    name = "greedy+ls"
+
+    def __init__(self, improver: LocalSearchImprover | None = None) -> None:
+        self.improver = improver or LocalSearchImprover()
+
+    def solve(self, problem: RASAProblem, time_limit: float | None = None) -> SolveResult:
+        """Run the greedy portfolio, then polish with local search."""
+        from repro.solvers.greedy import GreedyAlgorithm
+
+        watch = Stopwatch(time_limit)
+        seed = GreedyAlgorithm().solve(problem, time_limit=time_limit)
+        polished = self.improver.improve(
+            problem, seed.assignment, time_limit=watch.remaining
+        )
+        return SolveResult(
+            assignment=polished,
+            algorithm=self.name,
+            status="heuristic",
+            runtime_seconds=watch.elapsed,
+            objective=polished.gained_affinity(),
+        )

@@ -1,0 +1,364 @@
+"""Patterns and pricing for the column generation algorithm.
+
+A *pattern* is a feasible placement of service containers on one machine
+(paper Section IV-C2): a vector ``p`` of per-service counts satisfying the
+machine's resource, anti-affinity, and schedulability constraints.  Machines
+with identical capacity vectors and schedulable columns are interchangeable,
+so patterns are generated per *machine group*.
+
+The pricing subproblem searches, for one group, the feasible pattern with
+the most positive reduced cost given the master LP's dual prices.  Two
+implementations are provided: an exact small MILP and a greedy fallback
+(used both for speed and as an ablation point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.problem import RASAProblem
+from repro.solvers.lp import LinearModel
+from repro.solvers.milp_backend import solve_milp
+
+
+@dataclass(frozen=True)
+class MachineGroup:
+    """A set of interchangeable machines inside one RASA instance.
+
+    Attributes:
+        key: Hashable identity (capacities + schedulable column).
+        machine_indices: Indices of member machines, in problem order.
+        capacity: Shared capacity vector over the problem's resource types.
+        schedulable: Shared boolean column over services.
+    """
+
+    key: tuple
+    machine_indices: tuple[int, ...]
+    capacity: tuple[float, ...]
+    schedulable: tuple[bool, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of machines in the group."""
+        return len(self.machine_indices)
+
+
+def group_machines(problem: RASAProblem) -> list[MachineGroup]:
+    """Partition machines into interchangeability groups.
+
+    Two machines belong to the same group iff they have identical capacity
+    vectors and identical schedulable columns — then any pattern feasible on
+    one is feasible on the other.
+    """
+    buckets: dict[tuple, list[int]] = {}
+    for m in range(problem.num_machines):
+        capacity = tuple(float(v) for v in problem.capacities_matrix[m])
+        sched = tuple(bool(v) for v in problem.schedulable[:, m])
+        buckets.setdefault((capacity, sched), []).append(m)
+    groups = []
+    for (capacity, sched), members in sorted(buckets.items(), key=lambda kv: kv[1][0]):
+        groups.append(
+            MachineGroup(
+                key=(capacity, sched),
+                machine_indices=tuple(members),
+                capacity=capacity,
+                schedulable=sched,
+            )
+        )
+    return groups
+
+
+class Pattern:
+    """A feasible single-machine placement with its cached affinity value."""
+
+    __slots__ = ("counts", "value")
+
+    def __init__(self, counts: np.ndarray, value: float) -> None:
+        self.counts = counts.astype(np.int64)
+        self.counts.setflags(write=False)
+        self.value = float(value)
+
+    def key(self) -> bytes:
+        """Hashable identity used for de-duplication."""
+        return self.counts.tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        placed = int(self.counts.sum())
+        return f"Pattern(containers={placed}, value={self.value:.4g})"
+
+
+def pattern_value(problem: RASAProblem, counts: np.ndarray) -> float:
+    """Gained affinity contributed by one machine holding ``counts``.
+
+    Per Definition 1 restricted to a single machine:
+    ``sum_e w_e * min(p_s / d_s, p_s' / d_s')``.
+    """
+    demands = problem.demands.astype(float)
+    total = 0.0
+    for (u, v), w in problem.affinity.items():
+        s = problem.service_index(u)
+        t = problem.service_index(v)
+        total += w * min(counts[s] / demands[s], counts[t] / demands[t])
+    return total
+
+
+def pattern_is_feasible(problem: RASAProblem, group: MachineGroup, counts: np.ndarray) -> bool:
+    """Check a count vector against the group's machine constraints."""
+    if (counts < 0).any():
+        return False
+    sched = np.asarray(group.schedulable, dtype=bool)
+    if (counts[~sched] > 0).any():
+        return False
+    usage = counts.astype(float) @ problem.requests_matrix
+    if (usage > np.asarray(group.capacity) + 1e-9).any():
+        return False
+    for rule in problem.anti_affinity:
+        idx = [problem.service_index(s) for s in rule.services]
+        if counts[idx].sum() > rule.limit:
+            return False
+    return True
+
+
+def empty_pattern(problem: RASAProblem) -> Pattern:
+    """The always-feasible pattern placing nothing."""
+    return Pattern(np.zeros(problem.num_services, dtype=np.int64), 0.0)
+
+
+def patterns_from_assignment(
+    problem: RASAProblem,
+    x: np.ndarray,
+    groups: list[MachineGroup],
+) -> dict[int, list[Pattern]]:
+    """Harvest the per-machine columns of an assignment as initial patterns.
+
+    Args:
+        problem: The instance.
+        x: Assignment matrix, shape ``(N, M)``.
+        groups: Machine groups of the instance.
+
+    Returns:
+        Mapping from group index to de-duplicated patterns observed on that
+        group's machines (always including the empty pattern).
+    """
+    harvested: dict[int, list[Pattern]] = {}
+    for g, group in enumerate(groups):
+        seen: dict[bytes, Pattern] = {}
+        empty = empty_pattern(problem)
+        seen[empty.key()] = empty
+        for m in group.machine_indices:
+            counts = x[:, m].astype(np.int64)
+            if counts.sum() == 0:
+                continue
+            if not pattern_is_feasible(problem, group, counts):
+                continue
+            pattern = Pattern(counts, pattern_value(problem, counts))
+            seen.setdefault(pattern.key(), pattern)
+        harvested[g] = list(seen.values())
+    return harvested
+
+
+# ----------------------------------------------------------------------
+# Pricing
+# ----------------------------------------------------------------------
+def price_pattern_mip(
+    problem: RASAProblem,
+    group: MachineGroup,
+    duals: np.ndarray,
+    time_limit: float | None = None,
+    backend: str = "highs",
+) -> Pattern | None:
+    """Exact pricing: maximize ``value(p) - duals @ p`` over feasible patterns.
+
+    Builds a small MILP with integer per-service counts and continuous edge
+    variables linearizing the ``min`` terms.
+
+    Args:
+        problem: The instance.
+        group: Machine group to price for.
+        duals: Coverage dual prices ``pi_s`` (length N).
+        time_limit: Budget for the pricing MILP.
+        backend: MILP backend identifier.
+
+    Returns:
+        The best pattern found, or None if the solve produced nothing.
+    """
+    n = problem.num_services
+    demands = problem.demands.astype(float)
+    edges = [
+        (problem.service_index(u), problem.service_index(v), w)
+        for (u, v), w in problem.affinity.items()
+    ]
+    n_vars = n + len(edges)
+
+    c = np.concatenate([np.asarray(duals, dtype=float), -np.ones(len(edges))])
+
+    lb = np.zeros(n_vars)
+    ub = np.zeros(n_vars)
+    capacity = np.asarray(group.capacity)
+    sched = np.asarray(group.schedulable, dtype=bool)
+    for s in range(n):
+        if not sched[s]:
+            ub[s] = 0.0
+            continue
+        cap_bound = np.inf
+        for r in range(len(problem.resource_types)):
+            req = problem.requests_matrix[s, r]
+            if req > 0:
+                cap_bound = min(cap_bound, capacity[r] / req)
+        ub[s] = min(float(problem.demands[s]), np.floor(cap_bound + 1e-9))
+    for e, (_s, _t, w) in enumerate(edges):
+        ub[n + e] = w
+
+    integrality = np.zeros(n_vars, dtype=bool)
+    integrality[:n] = True
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    b_ub: list[float] = []
+    row = 0
+    for r in range(len(problem.resource_types)):
+        requests = problem.requests_matrix[:, r]
+        if not (requests > 0).any():
+            continue
+        for s in np.nonzero(requests > 0)[0]:
+            rows.append(row)
+            cols.append(int(s))
+            vals.append(float(requests[s]))
+        b_ub.append(float(capacity[r]))
+        row += 1
+    for rule in problem.anti_affinity:
+        for s in rule.services:
+            rows.append(row)
+            cols.append(problem.service_index(s))
+            vals.append(1.0)
+        b_ub.append(float(rule.limit))
+        row += 1
+    for e, (s, t, w) in enumerate(edges):
+        for endpoint in (s, t):
+            rows.append(row)
+            cols.append(n + e)
+            vals.append(1.0)
+            rows.append(row)
+            cols.append(endpoint)
+            vals.append(-w / demands[endpoint])
+            b_ub.append(0.0)
+            row += 1
+
+    model = LinearModel(
+        c=c,
+        a_ub=sparse.csr_matrix((vals, (rows, cols)), shape=(row, n_vars)) if row else None,
+        b_ub=np.asarray(b_ub) if row else None,
+        lb=lb,
+        ub=ub,
+        integrality=integrality,
+    )
+    result = solve_milp(model, time_limit=time_limit, backend=backend, gap_tolerance=1e-4)
+    if result.x is None:
+        return None
+    counts = np.rint(result.x[:n]).astype(np.int64)
+    counts = np.clip(counts, 0, None)
+    if not pattern_is_feasible(problem, group, counts):
+        return None
+    return Pattern(counts, pattern_value(problem, counts))
+
+
+def price_pattern_greedy(
+    problem: RASAProblem,
+    group: MachineGroup,
+    duals: np.ndarray,
+) -> Pattern | None:
+    """Greedy pricing fallback: grow the pattern one container at a time.
+
+    Repeatedly adds the container whose marginal ``value - dual`` is largest
+    until no addition is strictly positive or the machine is full.  Much
+    faster than the MILP, at some pricing-quality cost (ablated in
+    ``benchmarks/bench_cg_pricing.py``).
+    """
+    n = problem.num_services
+    demands = problem.demands.astype(float)
+    counts = np.zeros(n, dtype=np.int64)
+    free = np.asarray(group.capacity, dtype=float).copy()
+    sched = np.asarray(group.schedulable, dtype=bool)
+    neighbors: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for (u, v), w in problem.affinity.items():
+        s = problem.service_index(u)
+        t = problem.service_index(v)
+        neighbors[s].append((t, w))
+        neighbors[t].append((s, w))
+    rule_idx = [
+        (np.array([problem.service_index(s) for s in rule.services], dtype=int), rule.limit)
+        for rule in problem.anti_affinity
+    ]
+
+    def marginal(s: int) -> float:
+        gain = 0.0
+        for t, w in neighbors[s]:
+            before = min(counts[s] / demands[s], counts[t] / demands[t])
+            after = min((counts[s] + 1) / demands[s], counts[t] / demands[t])
+            gain += w * (after - before)
+        return gain - float(duals[s])
+
+    def addable(s: int) -> bool:
+        if not sched[s] or counts[s] >= problem.demands[s]:
+            return False
+        if (problem.requests_matrix[s] > free + 1e-9).any():
+            return False
+        for members, limit in rule_idx:
+            if s in members and counts[members].sum() >= limit:
+                return False
+        return True
+
+    def bootstrap_pair() -> bool:
+        """Seed the empty pattern with the best whole affinity pair.
+
+        A lone container gains nothing (``min`` needs both endpoints), so
+        the growth loop cannot start from zero; seed with the edge whose
+        joint placement has the best value net of duals.
+        """
+        nonlocal free
+        best: tuple[int, int] | None = None
+        best_net = 1e-12
+        for (u, v), w in problem.affinity.items():
+            s = problem.service_index(u)
+            t = problem.service_index(v)
+            if not (addable(s) and addable(t)):
+                continue
+            if (
+                problem.requests_matrix[s] + problem.requests_matrix[t]
+                > free + 1e-9
+            ).any():
+                continue
+            value = w * min(1.0 / demands[s], 1.0 / demands[t])
+            net = value - float(duals[s]) - float(duals[t])
+            if net > best_net:
+                best, best_net = (s, t), net
+        if best is None:
+            return False
+        for s in best:
+            counts[s] += 1
+            free -= problem.requests_matrix[s]
+        return True
+
+    if not bootstrap_pair():
+        return None
+
+    while True:
+        best_s, best_gain = -1, 1e-12
+        for s in range(n):
+            if not addable(s):
+                continue
+            gain = marginal(s)
+            if gain > best_gain:
+                best_s, best_gain = s, gain
+        if best_s < 0:
+            break
+        counts[best_s] += 1
+        free -= problem.requests_matrix[best_s]
+
+    if counts.sum() == 0:
+        return None
+    return Pattern(counts, pattern_value(problem, counts))

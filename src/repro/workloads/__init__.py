@@ -1,0 +1,41 @@
+"""Synthetic workloads: cluster generation, dataset registry, power-law fits."""
+
+from repro.workloads.datasets import (
+    EVALUATION_SPECS,
+    PAPER_SCALES,
+    TRAINING_SPECS,
+    evaluation_clusters,
+    load_cluster,
+    training_clusters,
+)
+from repro.workloads.generator import (
+    ClusterSpec,
+    GeneratedCluster,
+    first_fit_assignment,
+    generate_cluster,
+)
+from repro.workloads.powerlaw import (
+    FitResult,
+    compare_fits,
+    fit_exponential,
+    fit_powerlaw,
+    total_affinity_series,
+)
+
+__all__ = [
+    "EVALUATION_SPECS",
+    "PAPER_SCALES",
+    "TRAINING_SPECS",
+    "ClusterSpec",
+    "FitResult",
+    "GeneratedCluster",
+    "compare_fits",
+    "evaluation_clusters",
+    "first_fit_assignment",
+    "fit_exponential",
+    "fit_powerlaw",
+    "generate_cluster",
+    "load_cluster",
+    "total_affinity_series",
+    "training_clusters",
+]

@@ -1,0 +1,385 @@
+"""Synthetic microservice cluster generation.
+
+The paper's datasets are proprietary ByteDance traces (Tab. II).  This
+module generates clusters with the *statistical properties the paper's
+algorithm exploits*:
+
+* power-law (Zipf) per-service total affinity ``T(s) ~ s^-beta``
+  (Assumption 4.1, verified in Fig. 5),
+* skewed container demands (a few big services, a long tail),
+* heterogeneous machine specs,
+* compatibility pools (e.g. the IPv4/IPv6 example of Section IV-B3),
+* anti-affinity spread rules on large services,
+* a first-fit current placement standing in for the production ORIGINAL
+  schedule.
+
+Generation is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.affinity import AffinityGraph
+from repro.core.problem import AntiAffinityRule, Machine, RASAProblem, Service
+from repro.solvers.greedy import PackingState
+
+#: Container resource shapes (cpu cores, memory GiB) typical of
+#: microservices, sampled with the given probabilities.
+CONTAINER_SHAPES: tuple[tuple[float, float], ...] = (
+    (0.5, 1.0),
+    (1.0, 2.0),
+    (2.0, 4.0),
+    (4.0, 8.0),
+    (8.0, 16.0),
+)
+CONTAINER_SHAPE_PROBS: tuple[float, ...] = (0.25, 0.35, 0.25, 0.10, 0.05)
+
+#: Machine specifications (name, cpu cores, memory GiB) and mixing weights.
+MACHINE_SPECS: tuple[tuple[str, float, float], ...] = (
+    ("std-32c", 32.0, 128.0),
+    ("big-64c", 64.0, 256.0),
+)
+MACHINE_SPEC_PROBS: tuple[float, ...] = (0.7, 0.3)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Parameters controlling synthetic cluster generation.
+
+    Attributes:
+        name: Cluster label (e.g. ``"M1"``).
+        num_services: Service count ``N``.
+        num_containers: Approximate total container count (demands are
+            sampled and rescaled to land near this).
+        num_machines: Machine count ``M``.
+        affinity_beta: Power-law exponent of ``T(s)`` (must exceed 1 for
+            Lemma 1 to apply; production fits in Fig. 5 are ~1.5–2.5).
+        edge_density: Mean affinity edges per affinity-participating service.
+        affinity_participation: Fraction of services with at least one
+            affinity edge (the rest form the non-affinity set).
+        compat_pools: Number of disjoint compatibility pools; pool 0 is the
+            unconstrained default, higher pools model special requirements
+            (IPv6-only, GPU, ...).
+        compat_fraction: Fraction of services pinned to a non-default pool.
+        anti_affinity_fraction: Fraction of services given a spread rule.
+        seed: RNG seed (part of the spec so datasets are reproducible).
+    """
+
+    name: str
+    num_services: int
+    num_containers: int
+    num_machines: int
+    affinity_beta: float = 1.8
+    edge_density: float = 2.5
+    affinity_participation: float = 0.65
+    compat_pools: int = 2
+    compat_fraction: float = 0.1
+    anti_affinity_fraction: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_services < 2:
+            raise ValueError("need at least two services")
+        if self.affinity_beta <= 1.0:
+            raise ValueError("Assumption 4.1 requires beta > 1")
+
+
+@dataclass
+class GeneratedCluster:
+    """A generated problem plus the ground-truth generation artifacts.
+
+    Attributes:
+        problem: The RASA instance (with a first-fit current assignment).
+        spec: The generating spec.
+        qps: Per-affinity-edge queries-per-second used as traffic weights —
+            reused by the production simulator to weight latency metrics.
+    """
+
+    problem: RASAProblem
+    spec: ClusterSpec
+    qps: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+def generate_cluster(spec: ClusterSpec) -> GeneratedCluster:
+    """Generate a synthetic cluster according to ``spec``.
+
+    Returns:
+        The cluster with services, machines, affinity graph, constraints,
+        and a first-fit current placement.
+    """
+    rng = np.random.default_rng(spec.seed)
+    machines = _generate_machines(spec, rng)
+    services = _generate_services(spec, machines, rng)
+    affinity, qps, apps = _generate_affinity(spec, [s.name for s in services], rng)
+    schedulable = _generate_compatibility(spec, services, machines, apps, rng)
+    anti_affinity = _generate_anti_affinity(spec, services, schedulable, rng)
+
+    problem = RASAProblem(
+        services=services,
+        machines=machines,
+        affinity=affinity,
+        anti_affinity=anti_affinity,
+        schedulable=schedulable,
+    )
+    current = first_fit_assignment(problem, rng)
+    problem = RASAProblem(
+        services=services,
+        machines=machines,
+        affinity=affinity,
+        anti_affinity=anti_affinity,
+        schedulable=schedulable,
+        current_assignment=current,
+    )
+    return GeneratedCluster(problem=problem, spec=spec, qps=qps)
+
+
+#: Target peak utilization of the bottleneck resource after generation; the
+#: slack mirrors the head-room real clusters keep for failover and churn.
+TARGET_UTILIZATION = 0.75
+
+
+def _generate_services(
+    spec: ClusterSpec,
+    machines: list[Machine],
+    rng: np.random.Generator,
+) -> list[Service]:
+    """Sample demands (lognormal, rescaled) and container shapes.
+
+    Demands are first rescaled toward ``spec.num_containers``, then scaled
+    down if the requested resources would exceed ``TARGET_UTILIZATION`` of
+    the cluster capacity on any resource — an over-subscribed cluster could
+    never host its own SLA and would make every algorithm trivially
+    infeasible.
+    """
+    raw = rng.lognormal(mean=1.0, sigma=1.0, size=spec.num_services)
+    scale = spec.num_containers / raw.sum()
+    demands = np.maximum(1, np.rint(raw * scale)).astype(int)
+
+    shape_idx = rng.choice(
+        len(CONTAINER_SHAPES), size=spec.num_services, p=CONTAINER_SHAPE_PROBS
+    )
+    shapes = np.array([CONTAINER_SHAPES[i] for i in shape_idx])  # (N, 2)
+    capacity = np.zeros(2)
+    for machine in machines:
+        capacity[0] += machine.capacity.get("cpu", 0.0)
+        capacity[1] += machine.capacity.get("memory", 0.0)
+    requested = (shapes * demands[:, None]).sum(axis=0)
+    with np.errstate(divide="ignore"):
+        utilization = np.where(capacity > 0, requested / capacity, np.inf)
+    worst = float(utilization.max())
+    if worst > TARGET_UTILIZATION:
+        demands = np.maximum(
+            1, np.floor(demands * TARGET_UTILIZATION / worst)
+        ).astype(int)
+
+    services = []
+    for i in range(spec.num_services):
+        cpu, memory = CONTAINER_SHAPES[shape_idx[i]]
+        services.append(
+            Service(
+                name=f"svc-{i:05d}",
+                demand=int(demands[i]),
+                requests={"cpu": cpu, "memory": memory},
+            )
+        )
+    return services
+
+
+def _generate_machines(spec: ClusterSpec, rng: np.random.Generator) -> list[Machine]:
+    """Sample machines from the spec mix."""
+    spec_idx = rng.choice(len(MACHINE_SPECS), size=spec.num_machines, p=MACHINE_SPEC_PROBS)
+    machines = []
+    for i in range(spec.num_machines):
+        label, cpu, memory = MACHINE_SPECS[spec_idx[i]]
+        machines.append(
+            Machine(
+                name=f"node-{i:05d}",
+                capacity={"cpu": cpu, "memory": memory},
+                spec=label,
+            )
+        )
+    return machines
+
+
+def _generate_affinity(
+    spec: ClusterSpec,
+    service_names: list[str],
+    rng: np.random.Generator,
+) -> tuple[AffinityGraph, dict[tuple[str, str], float], list[list[str]]]:
+    """Build a power-law affinity graph with microservice community structure.
+
+    Participating services are grouped into *applications* — call-graph
+    communities whose internal traffic (a tree backbone plus extra chords)
+    dominates — and a handful of shared-infrastructure hub services (cache,
+    message queue, gateway) receive lighter cross-application edges.
+    Application traffic scales follow a deterministic Zipf law with exponent
+    ``affinity_beta``, which makes the per-service total affinity ``T(s)``
+    follow Assumption 4.1's power law while keeping the modular topology
+    that loss-minimization partitioning exploits.
+
+    Returns:
+        ``(graph, qps, apps)`` where ``apps`` lists the application service
+        groups (reused to correlate compatibility pools with call graphs).
+    """
+    participants = max(2, int(spec.affinity_participation * len(service_names)))
+    order = rng.permutation(len(service_names))[:participants]
+    ranked = [service_names[i] for i in order]
+
+    graph = AffinityGraph()
+    qps: dict[tuple[str, str], float] = {}
+
+    def add(u: str, v: str, weight: float) -> None:
+        if u == v or weight <= 0:
+            return
+        key = (u, v) if u <= v else (v, u)
+        if key in qps:
+            qps[key] += weight
+        else:
+            qps[key] = weight
+        graph.add_edge(u, v, weight)
+
+    # Reserve a few shared-infrastructure hubs, then carve the rest into
+    # applications of 4–24 services.
+    num_hubs = max(1, participants // 40)
+    hubs = ranked[:num_hubs]
+    rest = ranked[num_hubs:]
+    apps: list[list[str]] = []
+    cursor = 0
+    while cursor < len(rest):
+        size = int(rng.integers(3, 13))
+        apps.append(rest[cursor : cursor + size])
+        cursor += size
+
+    # Zipf application traffic scales: the k-th busiest app carries
+    # ~k^-beta of the traffic, yielding a T(s) power law per Assumption 4.1.
+    ranks = rng.permutation(len(apps)) + 1
+    app_scales = 1e4 / ranks.astype(float) ** spec.affinity_beta
+
+    for app, scale in zip(apps, app_scales):
+        if len(app) == 1:
+            # Singleton app: tie it to a hub so it still has affinity.
+            add(app[0], hubs[int(rng.integers(len(hubs)))], scale * 0.2)
+            continue
+        # Tree backbone: service i calls a random earlier service (call DAG).
+        # Traffic decays with call depth (fan-out dilutes per-edge volume),
+        # which keeps the ranked T(s) curve a smooth power law rather than a
+        # flat step per application.
+        for i in range(1, len(app)):
+            j = int(rng.integers(0, i))
+            depth_factor = 1.0 / float(i)
+            add(app[i], app[j], scale * depth_factor * float(rng.lognormal(0.0, 0.6)))
+        # Extra chords up to the target density.
+        extra = max(0, int((spec.edge_density - 1.0) * len(app)))
+        for _ in range(extra):
+            i, j = rng.integers(0, len(app), size=2)
+            if i != j and (app[int(i)], app[int(j)]) not in graph:
+                depth_factor = 1.0 / float(max(i, j))
+                add(
+                    app[int(i)],
+                    app[int(j)],
+                    scale * 0.3 * depth_factor * float(rng.lognormal(0.0, 0.6)),
+                )
+        # Light cross-app traffic to one shared hub (cache / queue / gateway).
+        hub = hubs[int(rng.integers(len(hubs)))]
+        add(app[0], hub, scale * 0.05 * float(rng.lognormal(0.0, 0.3)))
+    return graph, qps, [list(hubs)] + apps
+
+
+def _generate_compatibility(
+    spec: ClusterSpec,
+    services: list[Service],
+    machines: list[Machine],
+    apps: list[list[str]],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Assign services and machines to compatibility pools.
+
+    Special requirements (IPv6-only, kernel features, ...) apply at
+    *application* granularity — a whole call graph shares its runtime
+    environment — so pools are sampled per app, keeping affinity edges
+    realizable within each pool.  Services outside any app (no affinity)
+    are pooled individually.
+    """
+    n, m = len(services), len(machines)
+    service_index = {s.name: i for i, s in enumerate(services)}
+    service_pool = np.zeros(n, dtype=int)
+    if spec.compat_pools > 1 and spec.compat_fraction > 0:
+        for app in apps[1:]:  # apps[0] holds the shared hubs: always pool 0.
+            if rng.random() < spec.compat_fraction:
+                pool = int(rng.integers(1, spec.compat_pools))
+                for name in app:
+                    service_pool[service_index[name]] = pool
+        in_app = {name for app in apps for name in app}
+        for i, svc in enumerate(services):
+            if svc.name not in in_app and rng.random() < spec.compat_fraction:
+                service_pool[i] = int(rng.integers(1, spec.compat_pools))
+    machine_pool = np.zeros(m, dtype=int)
+    if spec.compat_pools > 1:
+        # Reserve a slice of machines per special pool, proportional to the
+        # demand pinned to it (at least one machine when any service needs it).
+        demands = np.array([svc.demand for svc in services], dtype=float)
+        cpu = np.array([svc.requests.get("cpu", 0.0) for svc in services])
+        total_cpu = float((demands * cpu).sum()) or 1.0
+        for pool in range(1, spec.compat_pools):
+            pool_services = service_pool == pool
+            if not pool_services.any():
+                continue
+            # Size the pool by its CPU demand share with 2x head-room so the
+            # pool is never capacity-infeasible, and grant at least two
+            # machines so spread rules remain satisfiable.
+            pool_cpu = float((demands[pool_services] * cpu[pool_services]).sum())
+            share = max(2, int(np.ceil(m * (pool_cpu / total_cpu) * 2)))
+            free = np.nonzero(machine_pool == 0)[0]
+            chosen = free[: min(share, max(len(free) - 2, 0))]
+            machine_pool[chosen] = pool
+
+    schedulable = np.zeros((n, m), dtype=bool)
+    for s in range(n):
+        if service_pool[s] == 0:
+            schedulable[s] = machine_pool == 0
+        else:
+            schedulable[s] = machine_pool == service_pool[s]
+    return schedulable
+
+
+def _generate_anti_affinity(
+    spec: ClusterSpec,
+    services: list[Service],
+    schedulable: np.ndarray,
+    rng: np.random.Generator,
+) -> list[AntiAffinityRule]:
+    """Give a random subset of services per-machine spread limits.
+
+    The limit never drops below ``ceil(demand / compatible_machines)`` so a
+    rule can always be satisfied within the service's compatibility pool.
+    """
+    rules = []
+    for i, service in enumerate(services):
+        if service.demand >= 4 and rng.random() < spec.anti_affinity_fraction:
+            compatible = max(1, int(schedulable[i].sum()))
+            floor = int(np.ceil(service.demand / compatible))
+            limit = max(2, int(np.ceil(service.demand * 0.5)), floor)
+            rules.append(AntiAffinityRule(services=frozenset({service.name}), limit=limit))
+    return rules
+
+
+def first_fit_assignment(problem: RASAProblem, rng: np.random.Generator) -> np.ndarray:
+    """Affinity-oblivious first-fit placement (the generator's ORIGINAL stand-in).
+
+    Services are visited in random order; each container lands on the first
+    feasible machine (machines visited in index order).  This mirrors the
+    paper's description of the production ORIGINAL scheduler as first-fit
+    with K8s filtering.
+    """
+    state = PackingState(problem)
+    order = rng.permutation(problem.num_services)
+    for s in order:
+        for _ in range(int(problem.demands[s])):
+            mask = state.feasible_machines(int(s))
+            if not mask.any():
+                break
+            state.place(int(s), int(np.argmax(mask)))
+    return state.x

@@ -1,0 +1,111 @@
+"""Power-law vs. exponential fitting of total-affinity distributions.
+
+Reproduces Fig. 5: given per-service total affinities ``T(s)`` sorted
+decreasingly, fit both ``T(s) = c * s^-beta`` (power law) and
+``T(s) = c * exp(-lam * s)`` (exponential) and compare goodness of fit.
+The paper shows production affinity is far better described by the power
+law, which is what licenses master-affinity partitioning (Lemma 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.affinity import AffinityGraph
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one family to the rank/affinity points.
+
+    Attributes:
+        family: ``"powerlaw"`` or ``"exponential"``.
+        params: ``(c, beta)`` for power law (``T = c * s^-beta``) or
+            ``(c, lam)`` for exponential (``T = c * exp(-lam * s)``).
+        r_squared: Coefficient of determination in the fitted (log) space.
+        sse: Sum of squared errors in the original space.
+    """
+
+    family: str
+    params: tuple[float, float]
+    r_squared: float
+    sse: float
+
+    def predict(self, ranks: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted curve at the given 1-based ranks."""
+        c, shape = self.params
+        ranks = np.asarray(ranks, dtype=float)
+        if self.family == "powerlaw":
+            return c * ranks ** (-shape)
+        return c * np.exp(-shape * ranks)
+
+
+def total_affinity_series(graph: AffinityGraph, top: int | None = None) -> np.ndarray:
+    """Decreasing ``T(s)`` values; optionally only the top ``top`` services."""
+    totals = np.array([t for _s, t in graph.services_by_total_affinity()], dtype=float)
+    if top is not None:
+        totals = totals[:top]
+    return totals
+
+
+def fit_powerlaw(totals: np.ndarray) -> FitResult:
+    """Least-squares fit of ``log T = log c - beta * log s``.
+
+    Raises:
+        ReproError: With fewer than three positive observations.
+    """
+    totals = np.asarray(totals, dtype=float)
+    mask = totals > 0
+    if mask.sum() < 3:
+        raise ReproError("power-law fit needs at least three positive affinities")
+    ranks = np.arange(1, totals.size + 1, dtype=float)[mask]
+    values = totals[mask]
+    slope, intercept, r2 = _linear_fit(np.log(ranks), np.log(values))
+    c = float(np.exp(intercept))
+    beta = float(-slope)
+    predicted = c * np.arange(1, totals.size + 1, dtype=float) ** (-beta)
+    sse = float(((totals - predicted) ** 2).sum())
+    return FitResult(family="powerlaw", params=(c, beta), r_squared=r2, sse=sse)
+
+
+def fit_exponential(totals: np.ndarray) -> FitResult:
+    """Least-squares fit of ``log T = log c - lam * s``.
+
+    Raises:
+        ReproError: With fewer than three positive observations.
+    """
+    totals = np.asarray(totals, dtype=float)
+    mask = totals > 0
+    if mask.sum() < 3:
+        raise ReproError("exponential fit needs at least three positive affinities")
+    ranks = np.arange(1, totals.size + 1, dtype=float)[mask]
+    values = totals[mask]
+    slope, intercept, r2 = _linear_fit(ranks, np.log(values))
+    c = float(np.exp(intercept))
+    lam = float(-slope)
+    predicted = c * np.exp(-lam * np.arange(1, totals.size + 1, dtype=float))
+    sse = float(((totals - predicted) ** 2).sum())
+    return FitResult(family="exponential", params=(c, lam), r_squared=r2, sse=sse)
+
+
+def compare_fits(graph: AffinityGraph, top: int = 40) -> tuple[FitResult, FitResult]:
+    """Fit both families to the top-``top`` total affinities (Fig. 5 setup).
+
+    Returns:
+        ``(powerlaw_fit, exponential_fit)``.
+    """
+    totals = total_affinity_series(graph, top=top)
+    return fit_powerlaw(totals), fit_exponential(totals)
+
+
+def _linear_fit(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Ordinary least squares ``y = slope * x + intercept`` with R^2."""
+    slope, intercept = np.polyfit(x, y, deg=1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r2

@@ -1,0 +1,137 @@
+"""Cluster trace serialization: save and load RASA instances as JSON.
+
+The paper's datasets come from a metrics-monitoring system; downstream
+users of this library will have their own.  This module defines a stable
+JSON trace format so real traces can be dropped in wherever the synthetic
+generator is used — services, machines, traffic (affinity), constraints,
+and the current placement round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.affinity import AffinityGraph
+from repro.core.problem import AntiAffinityRule, Machine, RASAProblem, Service
+from repro.exceptions import ProblemValidationError
+
+#: Format version written into every trace file.
+TRACE_FORMAT_VERSION = 1
+
+
+def problem_to_dict(problem: RASAProblem) -> dict:
+    """Serialize a problem (and its current placement, if any) to plain data."""
+    payload: dict = {
+        "format_version": TRACE_FORMAT_VERSION,
+        "resource_types": list(problem.resource_types),
+        "services": [
+            {
+                "name": svc.name,
+                "demand": svc.demand,
+                "requests": dict(svc.requests),
+                "priority": svc.priority,
+            }
+            for svc in problem.services
+        ],
+        "machines": [
+            {
+                "name": machine.name,
+                "capacity": dict(machine.capacity),
+                "spec": machine.spec,
+            }
+            for machine in problem.machines
+        ],
+        "affinity": [
+            {"u": u, "v": v, "weight": w} for (u, v), w in problem.affinity.items()
+        ],
+        "anti_affinity": [
+            {"services": sorted(rule.services), "limit": rule.limit}
+            for rule in problem.anti_affinity
+        ],
+    }
+    if not problem.schedulable.all():
+        payload["schedulable"] = problem.schedulable.astype(int).tolist()
+    if problem.current_assignment is not None:
+        payload["current_assignment"] = problem.current_assignment.tolist()
+    return payload
+
+
+def problem_from_dict(payload: dict) -> RASAProblem:
+    """Deserialize a problem written by :func:`problem_to_dict`.
+
+    Raises:
+        ProblemValidationError: On unknown format versions or malformed data.
+    """
+    version = payload.get("format_version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ProblemValidationError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    try:
+        services = [
+            Service(
+                name=entry["name"],
+                demand=int(entry["demand"]),
+                requests=dict(entry["requests"]),
+                priority=float(entry.get("priority", 1.0)),
+            )
+            for entry in payload["services"]
+        ]
+        machines = [
+            Machine(
+                name=entry["name"],
+                capacity=dict(entry["capacity"]),
+                spec=entry.get("spec", "default"),
+            )
+            for entry in payload["machines"]
+        ]
+        affinity = AffinityGraph(
+            {(e["u"], e["v"]): float(e["weight"]) for e in payload.get("affinity", [])}
+        )
+        rules = [
+            AntiAffinityRule(
+                services=frozenset(entry["services"]), limit=int(entry["limit"])
+            )
+            for entry in payload.get("anti_affinity", [])
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ProblemValidationError(f"malformed trace payload: {exc}") from exc
+
+    schedulable = None
+    if "schedulable" in payload:
+        schedulable = np.asarray(payload["schedulable"], dtype=bool)
+    current = None
+    if "current_assignment" in payload:
+        current = np.asarray(payload["current_assignment"], dtype=np.int64)
+
+    return RASAProblem(
+        services=services,
+        machines=machines,
+        affinity=affinity,
+        anti_affinity=rules,
+        schedulable=schedulable,
+        resource_types=payload.get("resource_types"),
+        current_assignment=current,
+    )
+
+
+def save_trace(problem: RASAProblem, path: str | Path) -> None:
+    """Write a problem to a JSON trace file."""
+    Path(path).write_text(json.dumps(problem_to_dict(problem), indent=2))
+
+
+def load_trace(path: str | Path) -> RASAProblem:
+    """Read a problem from a JSON trace file.
+
+    Raises:
+        ProblemValidationError: On malformed content.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ProblemValidationError(f"trace file is not valid JSON: {exc}") from exc
+    return problem_from_dict(payload)

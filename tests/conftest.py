@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+Fixtures come in two sizes: hand-built micro problems whose optima are known
+by inspection, and generated small clusters for integration-level checks.
+Dataset fixtures are session-scoped — generation is deterministic, so
+sharing them across tests is safe and fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AntiAffinityRule, Machine, RASAProblem, Service
+from repro.workloads import ClusterSpec, generate_cluster
+
+
+@pytest.fixture
+def tiny_problem() -> RASAProblem:
+    """Three services, three machines, two affinity edges.
+
+    Full affinity (1.0 normalized) is achievable: demands are small and any
+    machine fits all containers of the heavy pair.
+    """
+    services = [
+        Service("a", 4, {"cpu": 2.0, "memory": 4.0}),
+        Service("b", 4, {"cpu": 2.0, "memory": 4.0}),
+        Service("c", 2, {"cpu": 4.0, "memory": 2.0}),
+    ]
+    machines = [Machine(f"m{i}", {"cpu": 16.0, "memory": 32.0}) for i in range(3)]
+    return RASAProblem(
+        services,
+        machines,
+        affinity={("a", "b"): 10.0, ("b", "c"): 3.0},
+    )
+
+
+@pytest.fixture
+def constrained_problem() -> RASAProblem:
+    """Problem exercising every constraint family at once.
+
+    * ``web`` and ``db`` have affinity but ``db`` is pinned to machine pool
+      1 (schedulability).
+    * ``web`` has a spread rule of at most 2 containers per machine.
+    * Machine capacities force the placement to use several machines.
+    """
+    services = [
+        Service("web", 6, {"cpu": 2.0, "memory": 2.0}),
+        Service("db", 2, {"cpu": 4.0, "memory": 8.0}),
+        Service("batch", 3, {"cpu": 1.0, "memory": 1.0}),
+    ]
+    machines = [
+        Machine("m0", {"cpu": 8.0, "memory": 16.0}, spec="small"),
+        Machine("m1", {"cpu": 8.0, "memory": 16.0}, spec="small"),
+        Machine("m2", {"cpu": 16.0, "memory": 32.0}, spec="big"),
+    ]
+    schedulable = np.ones((3, 3), dtype=bool)
+    schedulable[1, 0] = False  # db cannot run on m0
+    return RASAProblem(
+        services,
+        machines,
+        affinity={("web", "db"): 5.0, ("web", "batch"): 1.0},
+        anti_affinity=[AntiAffinityRule(services=frozenset({"web"}), limit=2)],
+        schedulable=schedulable,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_cluster():
+    """A generated ~40-service cluster with a current assignment."""
+    spec = ClusterSpec(
+        name="test-small",
+        num_services=40,
+        num_containers=180,
+        num_machines=10,
+        affinity_beta=2.0,
+        seed=42,
+    )
+    return generate_cluster(spec)
+
+
+@pytest.fixture(scope="session")
+def medium_cluster():
+    """A generated ~90-service cluster for pipeline-level tests."""
+    spec = ClusterSpec(
+        name="test-medium",
+        num_services=90,
+        num_containers=420,
+        num_machines=18,
+        affinity_beta=2.0,
+        seed=7,
+    )
+    return generate_cluster(spec)

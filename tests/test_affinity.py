@@ -1,0 +1,107 @@
+"""Unit tests for the affinity graph model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AffinityGraph
+from repro.exceptions import ProblemValidationError
+
+
+def test_edges_are_canonicalized():
+    graph = AffinityGraph({("b", "a"): 2.0})
+    assert graph.weight("a", "b") == 2.0
+    assert graph.weight("b", "a") == 2.0
+    assert ("a", "b") in graph
+    assert ("b", "a") in graph
+
+
+def test_add_edge_accumulates_weight():
+    graph = AffinityGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "a", 2.0)
+    assert graph.weight("a", "b") == 3.0
+    assert graph.num_edges == 1
+
+
+def test_self_loops_are_rejected():
+    with pytest.raises(ProblemValidationError):
+        AffinityGraph({("a", "a"): 1.0})
+
+
+def test_non_positive_weights_are_rejected():
+    with pytest.raises(ProblemValidationError):
+        AffinityGraph({("a", "b"): 0.0})
+    with pytest.raises(ProblemValidationError):
+        AffinityGraph({("a", "b"): -1.0})
+
+
+def test_total_affinity_sums_edge_weights():
+    graph = AffinityGraph({("a", "b"): 1.5, ("b", "c"): 2.5})
+    assert graph.total_affinity == pytest.approx(4.0)
+
+
+def test_total_affinity_of_service_sums_incident_edges():
+    graph = AffinityGraph({("a", "b"): 1.0, ("b", "c"): 2.0, ("a", "c"): 4.0})
+    assert graph.total_affinity_of("a") == pytest.approx(5.0)
+    assert graph.total_affinity_of("b") == pytest.approx(3.0)
+    assert graph.total_affinity_of("missing") == 0.0
+
+
+def test_services_by_total_affinity_sorted_descending():
+    graph = AffinityGraph({("a", "b"): 1.0, ("b", "c"): 2.0})
+    ranked = graph.services_by_total_affinity()
+    assert ranked[0][0] == "b"
+    totals = [t for _s, t in ranked]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_normalized_scales_total_to_one():
+    graph = AffinityGraph({("a", "b"): 3.0, ("b", "c"): 1.0})
+    normalized = graph.normalized()
+    assert normalized.total_affinity == pytest.approx(1.0)
+    assert normalized.weight("a", "b") == pytest.approx(0.75)
+
+
+def test_normalized_empty_graph_is_empty():
+    assert AffinityGraph().normalized().num_edges == 0
+
+
+def test_induced_subgraph_keeps_internal_edges_only():
+    graph = AffinityGraph({("a", "b"): 1.0, ("b", "c"): 2.0, ("c", "d"): 3.0})
+    sub = graph.induced_subgraph({"a", "b", "c"})
+    assert sub.num_edges == 2
+    assert sub.weight("c", "d") == 0.0
+
+
+def test_cut_weight_counts_crossing_edges():
+    graph = AffinityGraph({("a", "b"): 1.0, ("b", "c"): 2.0, ("a", "c"): 4.0})
+    assert graph.cut_weight({"a"}, {"b", "c"}) == pytest.approx(5.0)
+
+
+def test_partition_loss_counts_cross_part_and_unassigned():
+    graph = AffinityGraph({("a", "b"): 1.0, ("b", "c"): 2.0})
+    assert graph.partition_loss([["a", "b"], ["c"]]) == pytest.approx(2.0)
+    assert graph.partition_loss([["a", "b", "c"]]) == pytest.approx(0.0)
+    # 'c' unassigned -> the (b, c) edge is lost.
+    assert graph.partition_loss([["a", "b"]]) == pytest.approx(2.0)
+
+
+def test_connected_components():
+    graph = AffinityGraph({("a", "b"): 1.0, ("c", "d"): 1.0})
+    components = graph.connected_components()
+    assert sorted(sorted(c) for c in components) == [["a", "b"], ["c", "d"]]
+
+
+def test_neighbors_and_degree():
+    graph = AffinityGraph({("a", "b"): 1.0, ("a", "c"): 2.0})
+    assert graph.neighbors("a") == {"b": 1.0, "c": 2.0}
+    assert graph.degree("a") == 2
+    assert graph.degree("b") == 1
+    assert graph.degree("zzz") == 0
+
+
+def test_to_networkx_round_trip():
+    graph = AffinityGraph({("a", "b"): 1.5})
+    nx_graph = graph.to_networkx()
+    assert nx_graph["a"]["b"]["weight"] == 1.5

@@ -1,0 +1,81 @@
+"""Tests for the B&B rounding-dive incumbent heuristic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.solvers import BranchAndBoundSolver, LinearModel
+from repro.solvers.branch_and_bound import BranchAndBoundSolver as BnB
+
+
+def _knapsack(values, weights, capacity):
+    n = len(values)
+    return LinearModel(
+        c=-np.asarray(values, dtype=float),
+        a_ub=sparse.csr_matrix(np.asarray(weights, dtype=float).reshape(1, n)),
+        b_ub=np.array([float(capacity)]),
+        ub=np.ones(n),
+        integrality=np.ones(n, dtype=bool),
+    )
+
+
+def test_dive_produces_early_incumbent():
+    rng = np.random.default_rng(5)
+    n = 10
+    model = _knapsack(rng.integers(1, 30, n), rng.integers(1, 10, n), 18)
+    with_dive = BranchAndBoundSolver(rounding_dive=True).solve(model)
+    assert with_dive.status == "optimal"
+    # The dive creates an incumbent before (or alongside) the integral leaf.
+    assert len(with_dive.incumbents) >= 1
+
+
+def test_dive_does_not_change_optimum():
+    rng = np.random.default_rng(9)
+    for _ in range(6):
+        n = int(rng.integers(4, 9))
+        model = _knapsack(
+            rng.integers(1, 20, n), rng.integers(1, 8, n),
+            float(rng.integers(5, 25)),
+        )
+        plain = BranchAndBoundSolver(rounding_dive=False).solve(model)
+        dived = BranchAndBoundSolver(rounding_dive=True).solve(model)
+        assert dived.objective == pytest.approx(plain.objective, abs=1e-9)
+
+
+def test_dive_rejects_equality_violations():
+    # x0 + x1 == 1 with fractional optimum (0.5, 0.5): floor gives (0, 0),
+    # which violates the equality, so the dive must not produce it.
+    model = LinearModel(
+        c=np.array([-1.0, -2.0]),
+        a_eq=sparse.csr_matrix(np.array([[1.0, 1.0]])),
+        b_eq=np.array([1.0]),
+        ub=np.array([1.0, 1.0]),
+        integrality=np.array([True, True]),
+    )
+    result = BranchAndBoundSolver(rounding_dive=True).solve(model)
+    assert result.status == "optimal"
+    assert result.x is not None
+    assert result.x.sum() == pytest.approx(1.0)
+    assert -result.objective == pytest.approx(2.0)
+
+
+def test_try_rounding_respects_bounds():
+    model = _knapsack([3, 5], [2, 3], 4)
+    fractional = np.array([0.9, 0.7])
+    candidate = BnB._try_rounding(model, fractional, model.integrality)
+    assert candidate is not None
+    assert candidate.tolist() == [0.0, 0.0]
+
+
+def test_try_rounding_rejects_ub_violation():
+    # A >= constraint encoded as -x <= -1 is violated by rounding down.
+    model = LinearModel(
+        c=np.array([1.0]),
+        a_ub=sparse.csr_matrix(np.array([[-1.0]])),
+        b_ub=np.array([-1.0]),
+        ub=np.array([3.0]),
+        integrality=np.array([True]),
+    )
+    assert BnB._try_rounding(model, np.array([0.5]), model.integrality) is None

@@ -1,0 +1,78 @@
+"""Integration tests for the ``rasa`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.trace_io import load_trace
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trace.json"
+    code = main(
+        [
+            "generate",
+            str(path),
+            "--services", "20",
+            "--containers", "90",
+            "--machines", "6",
+            "--seed", "4",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_writes_loadable_trace(trace_path):
+    problem = load_trace(trace_path)
+    assert problem.num_services == 20
+    assert problem.num_machines == 6
+    assert problem.current_assignment is not None
+
+
+def test_generate_from_registered_dataset(tmp_path):
+    path = tmp_path / "m3.json"
+    assert main(["generate", str(path), "--dataset", "M3"]) == 0
+    problem = load_trace(path)
+    assert problem.num_services == 68
+
+
+def test_optimize_command(trace_path, capsys):
+    code = main(["optimize", str(trace_path), "--time-limit", "6",
+                 "--migration-plan"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "gained affinity:" in out
+    assert "migration:" in out
+
+
+def test_inspect_command(trace_path, capsys):
+    code = main(["inspect", str(trace_path), "--top-pairs", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "gained affinity:" in out
+    assert "top 3 pairs" in out
+
+
+def test_inspect_without_current_assignment(tmp_path, capsys, tiny_problem):
+    from repro.workloads.trace_io import save_trace
+
+    path = tmp_path / "bare.json"
+    save_trace(tiny_problem, path)
+    assert main(["inspect", str(path)]) == 1
+    assert "no current assignment" in capsys.readouterr().out
+
+
+def test_compare_command(trace_path, capsys):
+    code = main(["compare", str(trace_path), "--time-limit", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in ("original", "k8s+", "pop", "applsci19", "rasa"):
+        assert name in out

@@ -1,0 +1,162 @@
+"""Edge-case tests spanning the public API surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterStateError,
+    MigrationError,
+    ProblemValidationError,
+    ReproError,
+    SolverError,
+    TrainingError,
+)
+from repro.cluster import (
+    ClusterState,
+    DefaultScheduler,
+    binpack_score,
+    least_allocated_score,
+    spread_score,
+)
+from repro.core import Assignment, Machine, RASAProblem, Service
+from repro.workloads.generator import (
+    CONTAINER_SHAPE_PROBS,
+    CONTAINER_SHAPES,
+    MACHINE_SPEC_PROBS,
+    MACHINE_SPECS,
+)
+
+
+# ----------------------------------------------------------------------
+# Exception hierarchy
+# ----------------------------------------------------------------------
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        ProblemValidationError,
+        SolverError,
+        MigrationError,
+        TrainingError,
+        ClusterStateError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_core_lazy_attribute_error():
+    import repro.core
+
+    with pytest.raises(AttributeError):
+        repro.core.DoesNotExist  # noqa: B018
+
+
+# ----------------------------------------------------------------------
+# Generator constants are consistent
+# ----------------------------------------------------------------------
+def test_shape_probabilities_sum_to_one():
+    assert sum(CONTAINER_SHAPE_PROBS) == pytest.approx(1.0)
+    assert sum(MACHINE_SPEC_PROBS) == pytest.approx(1.0)
+    assert len(CONTAINER_SHAPES) == len(CONTAINER_SHAPE_PROBS)
+    assert len(MACHINE_SPECS) == len(MACHINE_SPEC_PROBS)
+
+
+def test_machine_specs_dominate_container_shapes():
+    # Every machine spec can host at least the largest container shape.
+    max_cpu = max(cpu for cpu, _mem in CONTAINER_SHAPES)
+    max_mem = max(mem for _cpu, mem in CONTAINER_SHAPES)
+    for _name, cpu, mem in MACHINE_SPECS:
+        assert cpu >= max_cpu
+        assert mem >= max_mem
+
+
+# ----------------------------------------------------------------------
+# Scheduler scoring functions
+# ----------------------------------------------------------------------
+@pytest.fixture
+def scoring_state(tiny_problem):
+    x = np.zeros((3, 3), dtype=np.int64)
+    x[0, 0] = 3  # service a concentrated on m0
+    return ClusterState(tiny_problem, placement=x)
+
+
+def test_spread_score_prefers_empty_machines(scoring_state):
+    scores = spread_score(scoring_state, 0, np.ones(3, bool))
+    assert scores[1] > scores[0]
+    assert scores[2] > scores[0]
+
+
+def test_binpack_vs_least_allocated_are_opposites(scoring_state):
+    binpack = binpack_score(scoring_state, 1, np.ones(3, bool))
+    least = least_allocated_score(scoring_state, 1, np.ones(3, bool))
+    assert np.allclose(binpack, -least)
+    assert binpack[0] > binpack[1]  # m0 is fuller
+
+
+def test_scheduler_score_normalization(tiny_problem):
+    state = ClusterState(tiny_problem, placement=np.zeros((3, 3), dtype=np.int64))
+    scheduler = DefaultScheduler(scorers=[(spread_score, 2.0)])
+    scores = scheduler.score(state, 0, np.ones(3, bool))
+    # All-equal raw scores normalize to zero contribution.
+    assert np.allclose(scores, 0.0)
+
+
+def test_scheduler_with_single_machine_cluster():
+    problem = RASAProblem(
+        [Service("a", 3, {"cpu": 1.0})], [Machine("m", {"cpu": 8.0})]
+    )
+    state = ClusterState(problem, placement=np.zeros((1, 1), dtype=np.int64))
+    placed = DefaultScheduler().place_missing(state)
+    assert placed == 3
+
+
+# ----------------------------------------------------------------------
+# Assignment numeric edges
+# ----------------------------------------------------------------------
+def test_gained_affinity_with_huge_weights():
+    problem = RASAProblem(
+        [Service("a", 1, {"cpu": 1.0}), Service("b", 1, {"cpu": 1.0})],
+        [Machine("m", {"cpu": 8.0})],
+        affinity={("a", "b"): 1e12},
+    )
+    x = Assignment(problem, np.array([[1], [1]]))
+    assert x.gained_affinity(normalized=True) == pytest.approx(1.0)
+
+
+def test_gained_affinity_with_asymmetric_demands():
+    problem = RASAProblem(
+        [Service("big", 10, {"cpu": 0.5}), Service("small", 1, {"cpu": 0.5})],
+        [Machine(f"m{i}", {"cpu": 8.0}) for i in range(2)],
+        affinity={("big", "small") : 1.0},
+    )
+    # small's single container sits with 5 of big's 10.
+    x = Assignment(problem, np.array([[5, 5], [1, 0]]))
+    # min(5/10, 1/1) = 0.5 on m0; m1 contributes min(5/10, 0) = 0.
+    assert x.gained_affinity() == pytest.approx(0.5)
+
+
+def test_zero_capacity_machine_utilization_is_nan():
+    problem = RASAProblem(
+        [Service("a", 1, {"cpu": 1.0})],
+        [Machine("dead", {"cpu": 0.0}), Machine("ok", {"cpu": 8.0})],
+        schedulable=np.array([[False, True]]),
+    )
+    x = Assignment(problem, np.array([[0, 1]]))
+    util = x.machine_utilization()
+    assert np.isnan(util[0, 0])
+    assert util[1, 0] == pytest.approx(1.0 / 8.0)
+
+
+# ----------------------------------------------------------------------
+# Subproblem extraction edge
+# ----------------------------------------------------------------------
+def test_subproblem_single_service_machine(constrained_problem):
+    sub = constrained_problem.subproblem(["batch"], ["m2"])
+    assert sub.num_services == 1
+    assert sub.num_machines == 1
+    assert sub.affinity.num_edges == 0
+
+
+def test_priority_default_is_neutral(tiny_problem):
+    weighted = tiny_problem.weighted_affinity()
+    for (u, v), w in tiny_problem.affinity.items():
+        assert weighted.weight(u, v) == pytest.approx(w)

@@ -1,0 +1,49 @@
+"""Smoke tests for the runnable examples.
+
+Only the quick example runs in the unit suite; the longer walkthroughs
+(continuous optimization, selector training, the M1–M4 shoot-out, dynamic
+operations) are exercised by the benchmark suite's machinery instead and
+verified manually — importing them still catches syntax/API drift.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "continuous_optimization.py",
+    "train_algorithm_selector.py",
+    "datacenter_scale_comparison.py",
+    "dynamic_cluster_operations.py",
+]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports_cleanly(name):
+    """Every example parses and imports (without running main)."""
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main")
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "optimized gained affinity" in result.stdout
+    assert "done." in result.stdout

@@ -1,0 +1,153 @@
+"""Deeper unit tests of module internals not covered elsewhere."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, Machine, RASAProblem, Service
+from repro.migration import Command, CommandAction, MigrationPlan
+from repro.solvers.base import Stopwatch
+from repro.solvers.column_generation import _build_master
+from repro.solvers.patterns import (
+    Pattern,
+    empty_pattern,
+    group_machines,
+    pattern_value,
+)
+
+
+# ----------------------------------------------------------------------
+# Stopwatch
+# ----------------------------------------------------------------------
+def test_stopwatch_unlimited():
+    watch = Stopwatch()
+    assert watch.remaining is None
+    assert not watch.expired
+    assert watch.elapsed >= 0.0
+
+
+def test_stopwatch_budget():
+    watch = Stopwatch(time_limit=1e-9)
+    import time
+
+    time.sleep(0.002)
+    assert watch.expired
+    assert watch.remaining == 0.0
+
+
+# ----------------------------------------------------------------------
+# Migration plan serialization
+# ----------------------------------------------------------------------
+def test_plan_round_trips_through_json():
+    plan = MigrationPlan(
+        steps=[
+            [Command(CommandAction.DELETE, "a", "m0"),
+             Command(CommandAction.DELETE, "b", "m1")],
+            [Command(CommandAction.CREATE, "a", "m1")],
+        ],
+        moved_containers=1,
+        sla_floor=0.8,
+        complete=False,
+    )
+    payload = json.loads(json.dumps(plan.to_dict()))
+    restored = MigrationPlan.from_dict(payload)
+    assert restored.sla_floor == 0.8
+    assert restored.moved_containers == 1
+    assert not restored.complete
+    assert restored.num_steps == 2
+    assert restored.steps[0][1] == Command(CommandAction.DELETE, "b", "m1")
+
+
+def test_plan_from_dict_defaults():
+    plan = MigrationPlan.from_dict({})
+    assert plan.sla_floor == 0.75
+    assert plan.complete
+    assert plan.num_steps == 0
+
+
+def test_plan_executes_after_round_trip(tiny_problem):
+    from repro.migration import MigrationExecutor, MigrationPathBuilder
+
+    original = Assignment(tiny_problem, np.array([[4, 0, 0], [0, 4, 0], [0, 0, 2]]))
+    # Capacity-feasible target: a joins b on m1 (8 + 8 = 16 cpu), c stays.
+    target = Assignment(tiny_problem, np.array([[0, 4, 0], [0, 4, 0], [0, 0, 2]]))
+    plan = MigrationPathBuilder(sla_floor=0.5).build(tiny_problem, original, target)
+    assert plan.complete
+    restored = MigrationPlan.from_dict(plan.to_dict())
+    trace = MigrationExecutor().execute(tiny_problem, original, restored)
+    assert np.array_equal(trace.final.x, target.x)
+
+
+# ----------------------------------------------------------------------
+# Column generation master internals
+# ----------------------------------------------------------------------
+@pytest.fixture
+def two_group_problem():
+    services = [Service("a", 2, {"cpu": 1.0}), Service("b", 2, {"cpu": 1.0})]
+    machines = [
+        Machine("small", {"cpu": 4.0}, spec="s"),
+        Machine("big", {"cpu": 8.0}, spec="b"),
+    ]
+    return RASAProblem(services, machines, affinity={("a", "b"): 1.0})
+
+
+def test_master_row_structure(two_group_problem):
+    problem = two_group_problem
+    groups = group_machines(problem)
+    counts = np.array([1, 1])
+    pattern = Pattern(counts, pattern_value(problem, counts))
+    columns = {g: [empty_pattern(problem), pattern] for g in range(len(groups))}
+    master = _build_master(problem, groups, columns)
+    model = master.model
+    # Rows: N coverage + one convexity per group.
+    assert model.a_ub.shape[0] == problem.num_services + len(groups)
+    # Columns: 2 patterns per group.
+    assert model.a_ub.shape[1] == 2 * len(groups)
+    # Objective is the negated pattern value.
+    values = sorted(model.c.tolist())
+    assert values[0] == pytest.approx(-pattern.value)
+    assert values[-1] == 0.0  # empty pattern
+    # Coverage right-hand sides are the demands; convexity rhs the counts.
+    assert model.b_ub[: problem.num_services].tolist() == [2.0, 2.0]
+    assert model.b_ub[problem.num_services :].tolist() == [1.0, 1.0]
+
+
+def test_master_integral_flag(two_group_problem):
+    problem = two_group_problem
+    groups = group_machines(problem)
+    columns = {g: [empty_pattern(problem)] for g in range(len(groups))}
+    lp_master = _build_master(problem, groups, columns, integral=False)
+    ip_master = _build_master(problem, groups, columns, integral=True)
+    assert not lp_master.model.integrality.any()
+    assert ip_master.model.integrality.all()
+
+
+# ----------------------------------------------------------------------
+# Pattern value properties
+# ----------------------------------------------------------------------
+def test_pattern_value_monotone_in_counts(tiny_problem):
+    low = pattern_value(tiny_problem, np.array([1, 1, 0]))
+    high = pattern_value(tiny_problem, np.array([2, 2, 0]))
+    assert high >= low
+
+
+def test_pattern_value_zero_without_pairs(tiny_problem):
+    assert pattern_value(tiny_problem, np.array([4, 0, 0])) == 0.0
+    assert pattern_value(tiny_problem, np.array([0, 0, 2])) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Machine grouping keys
+# ----------------------------------------------------------------------
+def test_group_key_includes_schedulability(two_group_problem):
+    groups = group_machines(two_group_problem)
+    assert len(groups) == 2  # distinct capacities
+
+
+def test_group_members_sorted_by_index(small_cluster):
+    for group in group_machines(small_cluster.problem):
+        indices = list(group.machine_indices)
+        assert indices == sorted(indices)

@@ -1,0 +1,85 @@
+"""Tests verifying Lemma 1's tail bound numerically."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lemma1 import (
+    check_ideal,
+    check_problem,
+    constant_sweep,
+    ideal_totals,
+    lemma1_bound,
+    master_head_size,
+    tail_share,
+)
+from repro.exceptions import ReproError
+
+
+def test_ideal_totals_shape_and_validation():
+    totals = ideal_totals(10, beta=2.0)
+    assert totals[0] == 1.0
+    assert totals[1] == pytest.approx(0.25)
+    assert (np.diff(totals) < 0).all()
+    with pytest.raises(ReproError):
+        ideal_totals(10, beta=1.0)
+
+
+def test_tail_share_edges():
+    totals = np.array([4.0, 2.0, 1.0, 1.0])
+    assert tail_share(totals, 0) == pytest.approx(1.0)
+    assert tail_share(totals, 2) == pytest.approx(0.25)
+    assert tail_share(totals, 10) == 0.0
+    assert tail_share(np.zeros(3), 1) == 0.0
+
+
+def test_master_head_size_grows_slowly():
+    assert master_head_size(10, eps=0.34) >= 1
+    assert master_head_size(10_000, eps=0.34) < 100
+    assert master_head_size(1_000_000, eps=0.34) > master_head_size(100, eps=0.34)
+    with pytest.raises(ReproError):
+        master_head_size(10, eps=0.0)
+
+
+def test_bound_decreases_with_n_and_beta():
+    assert lemma1_bound(10_000, 2.0, 0.34) < lemma1_bound(100, 2.0, 0.34)
+    assert lemma1_bound(10_000, 3.0, 0.34) < lemma1_bound(10_000, 1.5, 0.34)
+    with pytest.raises(ReproError):
+        lemma1_bound(100, 0.9, 0.34)
+    with pytest.raises(ReproError):
+        lemma1_bound(100, 2.0, 1.5)
+
+
+def test_lemma1_tail_share_decays_on_ideal_distribution():
+    checks = constant_sweep(beta=2.0, eps=0.34)
+    shares = [c.tail_share for c in checks]
+    # Tail share shrinks as N grows — the whole point of master partitioning.
+    assert shares == sorted(shares, reverse=True)
+    # Implied constants stay bounded (Lemma 1's O(.)).
+    constants = [c.constant for c in checks]
+    assert max(constants) < 10.0
+
+
+def test_lemma1_with_paper_head_constant():
+    # The production rule (45x head) makes the tail negligible already at
+    # moderate N for a realistic beta.
+    check = check_ideal(10_000, beta=1.8, eps=0.34, head_constant=45.0)
+    assert check.tail_share < 0.05
+
+
+def test_lemma1_on_generated_cluster(small_cluster):
+    check = check_problem(small_cluster.problem)
+    # The generated skew concentrates nearly everything in the paper head.
+    assert check.tail_share < 0.2
+    assert check.head >= 1
+
+
+def test_lemma1_rejects_affinity_free_problem():
+    from repro.core import Machine, RASAProblem, Service
+
+    problem = RASAProblem(
+        [Service("a", 1, {"cpu": 1.0})], [Machine("m", {"cpu": 4.0})]
+    )
+    with pytest.raises(ReproError):
+        check_problem(problem)

@@ -1,0 +1,78 @@
+"""Unit tests for the MIP-based RASA algorithm (model building + solving)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, Machine, RASAProblem, Service
+from repro.solvers import MIPAlgorithm, build_rasa_model
+from repro.solvers.mip import ModelLayout
+
+
+def test_layout_skips_unschedulable_cells(constrained_problem):
+    layout = ModelLayout(constrained_problem)
+    # db (index 1) cannot run on m0 (index 0).
+    assert (1, 0) not in layout.x_index
+    assert (0, 0) in layout.x_index
+    # Edge variables exist only where both endpoints are schedulable.
+    web_db_edges = [
+        (e, m) for (e, m) in layout.a_index if layout.edges[e][:2] in ((0, 1), (1, 0))
+    ]
+    assert all(m != 0 for _e, m in web_db_edges)
+
+
+def test_model_dimensions(tiny_problem):
+    model, layout = build_rasa_model(tiny_problem)
+    assert model.num_variables == layout.num_x + layout.num_a
+    assert model.num_integer_variables == layout.num_x
+    # Objective covers exactly the a-variables.
+    assert (model.c != 0).sum() == layout.num_a
+
+
+def test_mip_finds_full_affinity_optimum(tiny_problem):
+    result = MIPAlgorithm().solve(tiny_problem, time_limit=30)
+    assert result.status in ("optimal", "optimal+greedy")
+    assert result.assignment.gained_affinity(normalized=True) == pytest.approx(1.0)
+    assert result.assignment.check_feasibility().feasible
+
+
+def test_mip_respects_all_constraints(constrained_problem):
+    result = MIPAlgorithm().solve(constrained_problem, time_limit=30)
+    report = result.assignment.check_feasibility()
+    assert report.feasible, report.summary()
+    # Affinity between web and db is bounded by the spread rule: at most
+    # 2 of 6 web containers can sit with each db container.
+    assert result.objective > 0
+
+
+def test_mip_bnb_backend_agrees_with_highs(tiny_problem):
+    highs = MIPAlgorithm(backend="highs").solve(tiny_problem, time_limit=30)
+    bnb = MIPAlgorithm(backend="bnb").solve(tiny_problem, time_limit=30)
+    assert bnb.objective == pytest.approx(highs.objective, rel=1e-4)
+
+
+def test_mip_handles_no_schedulable_machines():
+    problem = RASAProblem(
+        [Service("a", 2, {"cpu": 1.0})],
+        [Machine("m", {"cpu": 8.0})],
+        schedulable=np.zeros((1, 1), dtype=bool),
+    )
+    result = MIPAlgorithm().solve(problem, time_limit=5)
+    assert result.status == "no_variables"
+    assert result.assignment.x.sum() == 0
+
+
+def test_mip_greedy_floor_never_worse_than_greedy(small_cluster):
+    from repro.solvers import GreedyAlgorithm
+
+    problem = small_cluster.problem
+    greedy = GreedyAlgorithm().solve(problem)
+    mip = MIPAlgorithm().solve(problem, time_limit=3)
+    assert mip.objective >= greedy.objective - 1e-9
+
+
+def test_mip_trajectory_is_monotone(tiny_problem):
+    result = MIPAlgorithm(backend="bnb").solve(tiny_problem, time_limit=30)
+    objectives = [obj for _t, obj in result.trajectory]
+    assert objectives == sorted(objectives)

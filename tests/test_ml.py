@@ -1,0 +1,184 @@
+"""Unit tests for the from-scratch ML stack: layers, GCN, MLP, Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.ml import (
+    Adam,
+    FeatureGraph,
+    GCNClassifier,
+    MLPClassifier,
+    build_feature_graph,
+    mean_feature_vector,
+    normalize_adjacency,
+)
+from repro.ml.gcn import LABELS, _softmax
+
+
+def _random_graph(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    adj = rng.random((n, n))
+    adj = (adj + adj.T) / 2.0
+    np.fill_diagonal(adj, 0.0)
+    return FeatureGraph(
+        adjacency_hat=normalize_adjacency(adj),
+        features=rng.random((n, 2)),
+        num_services=n,
+        num_machines=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Numerics
+# ----------------------------------------------------------------------
+def test_softmax_sums_to_one_and_is_stable():
+    probs = _softmax(np.array([1e4, 1e4 + 1.0]))
+    assert probs.sum() == pytest.approx(1.0)
+    assert np.isfinite(probs).all()
+
+
+def test_normalize_adjacency_row_properties():
+    adj = np.array([[0.0, 1.0], [1.0, 0.0]])
+    a_hat = normalize_adjacency(adj)
+    assert a_hat.shape == (2, 2)
+    assert np.allclose(a_hat, a_hat.T)
+    # D^-1/2 (A+I) D^-1/2 of a symmetric 2-node graph: all entries 1/2.
+    assert np.allclose(a_hat, 0.5)
+
+
+def test_gcn_gradients_match_finite_differences():
+    graph = _random_graph()
+    model = GCNClassifier(hidden_dim=5, seed=1)
+    _loss, grads = model.loss_and_gradients(graph, 1)
+    eps = 1e-6
+    for p_idx, param in enumerate(model.parameters()):
+        flat_indices = list(np.ndindex(param.shape))[:4]
+        for idx in flat_indices:
+            original = param[idx]
+            param[idx] = original + eps
+            loss_plus, _ = model.loss_and_gradients(graph, 1)
+            param[idx] = original - eps
+            loss_minus, _ = model.loss_and_gradients(graph, 1)
+            param[idx] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads[p_idx][idx] == pytest.approx(numeric, abs=1e-6)
+
+
+def test_mlp_gradients_match_finite_differences():
+    model = MLPClassifier(hidden_dim=4, num_features=4, seed=2)
+    features = np.random.default_rng(0).random(4)
+    _loss, grads = model.loss_and_gradients(features, 0)
+    eps = 1e-6
+    for p_idx, param in enumerate(model.parameters()):
+        flat_indices = list(np.ndindex(param.shape))[:4]
+        for idx in flat_indices:
+            original = param[idx]
+            param[idx] = original + eps
+            loss_plus, _ = model.loss_and_gradients(features, 0)
+            param[idx] = original - eps
+            loss_minus, _ = model.loss_and_gradients(features, 0)
+            param[idx] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads[p_idx][idx] == pytest.approx(numeric, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Training behaviour
+# ----------------------------------------------------------------------
+def test_gcn_fits_separable_toy_problem():
+    # Dense graphs -> label 0, sparse graphs -> label 1, separable by the
+    # adjacency statistics the readout sees.
+    rng = np.random.default_rng(0)
+    graphs, labels = [], []
+    for i in range(16):
+        n = 6
+        dense = i % 2 == 0
+        p_edge = 0.9 if dense else 0.1
+        adj = (rng.random((n, n)) < p_edge).astype(float)
+        adj = np.triu(adj, 1)
+        adj = adj + adj.T
+        features = np.full((n, 2), 2.0 if dense else 0.1)
+        graphs.append(
+            FeatureGraph(
+                adjacency_hat=normalize_adjacency(adj),
+                features=features,
+                num_services=n,
+                num_machines=2,
+            )
+        )
+        labels.append(LABELS[0] if dense else LABELS[1])
+    model = GCNClassifier(hidden_dim=16, seed=0)
+    history = model.fit(graphs, labels, epochs=150, seed=0)
+    assert history[-1] < history[0]
+    correct = sum(model.predict(g) == l for g, l in zip(graphs, labels))
+    assert correct >= 14
+
+
+def test_fit_validates_inputs():
+    model = GCNClassifier()
+    with pytest.raises(TrainingError):
+        model.fit([], [])
+    graph = _random_graph()
+    with pytest.raises(TrainingError):
+        model.fit([graph], ["not-a-label"])
+
+
+def test_mlp_fit_validates_inputs():
+    model = MLPClassifier()
+    with pytest.raises(TrainingError):
+        model.fit([], [])
+
+
+def test_gcn_save_load_round_trip(tmp_path):
+    graph = _random_graph()
+    model = GCNClassifier(seed=3)
+    path = str(tmp_path / "gcn.npz")
+    model.save(path)
+    restored = GCNClassifier.load(path)
+    assert np.allclose(model.predict_proba(graph), restored.predict_proba(graph))
+
+
+def test_adam_converges_on_quadratic():
+    # Minimize (x - 3)^2 via its gradient.
+    x = np.array([0.0])
+    optimizer = Adam([x], learning_rate=0.1)
+    for _ in range(500):
+        optimizer.step([2.0 * (x - 3.0)])
+    assert x[0] == pytest.approx(3.0, abs=1e-2)
+
+
+def test_adam_validates_gradient_count():
+    x = np.zeros(2)
+    optimizer = Adam([x])
+    with pytest.raises(ValueError):
+        optimizer.step([])
+
+
+# ----------------------------------------------------------------------
+# Feature construction
+# ----------------------------------------------------------------------
+def test_build_feature_graph_from_subproblem(small_cluster):
+    from repro.partitioning import MultiStagePartitioner
+
+    result = MultiStagePartitioner().partition(small_cluster.problem)
+    sub = result.subproblems[0]
+    graph = build_feature_graph(sub)
+    n = sub.num_services
+    assert graph.adjacency_hat.shape == (n, n)
+    assert graph.features.shape == (n, 2)
+    assert graph.num_machines == sub.num_machines
+    # Normalized adjacency is symmetric with self-loop mass on the diagonal.
+    assert np.allclose(graph.adjacency_hat, graph.adjacency_hat.T)
+    assert (np.diag(graph.adjacency_hat) > 0).all()
+
+
+def test_mean_feature_vector_shape(small_cluster):
+    from repro.partitioning import MultiStagePartitioner
+
+    result = MultiStagePartitioner().partition(small_cluster.problem)
+    vec = mean_feature_vector(build_feature_graph(result.subproblems[0]))
+    assert vec.shape == (4,)
+    assert np.isfinite(vec).all()

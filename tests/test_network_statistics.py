@@ -1,0 +1,114 @@
+"""Statistical tests of the IPC-vs-RPC network model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import NetworkParameters, NetworkSimulator
+from repro.core import Assignment, Machine, RASAProblem, Service
+
+
+@pytest.fixture
+def pair_problem():
+    problem = RASAProblem(
+        [Service("a", 2, {"cpu": 1.0}), Service("b", 2, {"cpu": 1.0})],
+        [Machine(f"m{i}", {"cpu": 8.0}) for i in range(2)],
+        affinity={("a", "b"): 100.0},
+    )
+    return problem
+
+
+def _series(localization, num_windows=512, params=None, seed=0):
+    simulator = NetworkSimulator(params, seed=seed)
+    return simulator.pair_series(
+        ("a", "b"), localization, 50.0, num_windows, np.random.default_rng(seed)
+    )
+
+
+def test_latency_interpolates_between_transports():
+    params = NetworkParameters(congestion_sigma=0.0, diurnal_amplitude=0.0)
+    full_rpc = _series(0.0, params=params)
+    half = _series(0.5, params=params)
+    full_ipc = _series(1.0, params=params)
+    assert full_ipc.mean_latency() == pytest.approx(params.ipc_latency_ms)
+    assert full_rpc.mean_latency() == pytest.approx(params.rpc_latency_ms)
+    assert half.mean_latency() == pytest.approx(
+        0.5 * params.ipc_latency_ms + 0.5 * params.rpc_latency_ms
+    )
+
+
+def test_latency_monotone_in_localization():
+    means = [_series(loc, seed=1).mean_latency() for loc in (0.0, 0.25, 0.5, 0.75, 1.0)]
+    assert means == sorted(means, reverse=True)
+
+
+def test_error_rate_monotone_in_localization():
+    means = [
+        _series(loc, seed=2).mean_error_rate() for loc in (0.0, 0.5, 1.0)
+    ]
+    assert means == sorted(means, reverse=True)
+
+
+def test_localization_clipped_to_unit_interval():
+    params = NetworkParameters(congestion_sigma=0.0, diurnal_amplitude=0.0)
+    over = _series(1.7, params=params)
+    under = _series(-0.3, params=params)
+    assert over.mean_latency() == pytest.approx(params.ipc_latency_ms)
+    assert under.mean_latency() == pytest.approx(params.rpc_latency_ms)
+
+
+def test_congestion_jitter_is_multiplicative_lognormal():
+    noisy = _series(0.0, params=NetworkParameters(congestion_sigma=0.5,
+                                                  diurnal_amplitude=0.0))
+    quiet = _series(0.0, params=NetworkParameters(congestion_sigma=0.01,
+                                                  diurnal_amplitude=0.0))
+    assert noisy.latency_ms.std() > quiet.latency_ms.std() * 5
+
+
+def test_diurnal_qps_swings_around_base():
+    series = _series(0.5, params=NetworkParameters(diurnal_amplitude=0.3))
+    assert series.qps.mean() == pytest.approx(50.0, rel=0.1)
+    assert series.qps.max() > 50.0
+    assert series.qps.min() < 50.0
+
+
+def test_report_is_deterministic_given_seed(pair_problem):
+    # Partially localized so the RPC noise path is exercised.
+    assignment = Assignment(pair_problem, np.array([[2, 0], [0, 2]]))
+    qps = {("a", "b"): 100.0}
+    a = NetworkSimulator(seed=7).report("x", assignment, qps, num_windows=16)
+    b = NetworkSimulator(seed=7).report("x", assignment, qps, num_windows=16)
+    assert np.allclose(a.weighted_latency_ms, b.weighted_latency_ms)
+    c = NetworkSimulator(seed=8).report("x", assignment, qps, num_windows=16)
+    assert not np.allclose(a.weighted_latency_ms, c.weighted_latency_ms)
+
+
+def test_report_uses_placement_localization(pair_problem):
+    qps = {("a", "b"): 100.0}
+    collocated = Assignment(pair_problem, np.array([[2, 0], [2, 0]]))
+    separated = Assignment(pair_problem, np.array([[2, 0], [0, 2]]))
+    simulator = NetworkSimulator(seed=0)
+    good = simulator.report("good", collocated, qps, num_windows=64)
+    bad = simulator.report("bad", separated, qps, num_windows=64)
+    assert good.weighted_latency_ms.mean() < bad.weighted_latency_ms.mean()
+    assert good.weighted_error_rate.mean() < bad.weighted_error_rate.mean()
+
+
+def test_mlp_save_load_round_trip(tmp_path):
+    from repro.ml import MLPClassifier
+    from repro.ml.features import FeatureGraph, normalize_adjacency
+
+    rng = np.random.default_rng(0)
+    adj = rng.random((4, 4))
+    graph = FeatureGraph(
+        adjacency_hat=normalize_adjacency((adj + adj.T) / 2),
+        features=rng.random((4, 2)),
+        num_services=4,
+        num_machines=2,
+    )
+    model = MLPClassifier(seed=5)
+    path = str(tmp_path / "mlp.npz")
+    model.save(path)
+    restored = MLPClassifier.load(path)
+    assert np.allclose(model.predict_proba(graph), restored.predict_proba(graph))

@@ -1,0 +1,254 @@
+"""Unit tests for the partitioning stages and the multi-stage pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AffinityGraph, Machine, RASAProblem, Service
+from repro.partitioning import (
+    KahipLikePartitioner,
+    MultiStagePartitioner,
+    NoPartitioner,
+    RandomPartitioner,
+    balanced_partition,
+    default_master_ratio,
+    master_affinity_share,
+    split_compatibility,
+    split_master,
+    split_non_affinity,
+)
+from repro.partitioning.stages import pack_components
+
+
+# ----------------------------------------------------------------------
+# Stage 1 — non-affinity
+# ----------------------------------------------------------------------
+def test_split_non_affinity(tiny_problem):
+    affinity_set, non_affinity_set = split_non_affinity(tiny_problem)
+    assert set(affinity_set) == {"a", "b", "c"}
+    assert non_affinity_set == []
+
+
+def test_split_non_affinity_finds_isolated():
+    services = [Service(n, 1, {"cpu": 1.0}) for n in ("a", "b", "loner")]
+    machines = [Machine("m", {"cpu": 8.0})]
+    problem = RASAProblem(services, machines, affinity={("a", "b"): 1.0})
+    affinity_set, non_affinity_set = split_non_affinity(problem)
+    assert non_affinity_set == ["loner"]
+    assert set(affinity_set) == {"a", "b"}
+
+
+# ----------------------------------------------------------------------
+# Stage 2 — master-affinity
+# ----------------------------------------------------------------------
+def test_default_master_ratio_shape():
+    # alpha = 45 ln^0.66(N) / N, clamped to (0, 1].
+    assert default_master_ratio(1) == 1.0
+    assert default_master_ratio(10) == 1.0  # formula exceeds 1 for small N
+    big = default_master_ratio(10_000)
+    assert 0.0 < big < 0.2
+    # Ratio decreases with N (eventually).
+    assert default_master_ratio(100_000) < default_master_ratio(10_000)
+
+
+def test_split_master_takes_top_by_total_affinity():
+    services = [Service(f"s{i}", 1, {"cpu": 1.0}) for i in range(6)]
+    machines = [Machine("m", {"cpu": 64.0})]
+    problem = RASAProblem(
+        services,
+        machines,
+        affinity={("s0", "s1"): 100.0, ("s2", "s3"): 1.0, ("s4", "s5"): 0.1},
+    )
+    affinity_set, _ = split_non_affinity(problem)
+    masters, non_masters = split_master(problem, affinity_set, master_ratio=2 / 6)
+    assert set(masters) == {"s0", "s1"}
+    assert set(non_masters) == {"s2", "s3", "s4", "s5"}
+
+
+def test_master_affinity_share():
+    services = [Service(f"s{i}", 1, {"cpu": 1.0}) for i in range(4)]
+    machines = [Machine("m", {"cpu": 64.0})]
+    problem = RASAProblem(
+        services, machines, affinity={("s0", "s1"): 3.0, ("s2", "s3"): 1.0}
+    )
+    assert master_affinity_share(problem, ["s0", "s1"]) == pytest.approx(0.75)
+    assert master_affinity_share(problem, []) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Stage 3 — compatibility
+# ----------------------------------------------------------------------
+def test_split_compatibility_blocks():
+    services = [Service(f"s{i}", 1, {"cpu": 1.0}) for i in range(4)]
+    machines = [Machine(f"m{i}", {"cpu": 8.0}) for i in range(4)]
+    schedulable = np.array(
+        [
+            [True, True, False, False],
+            [False, True, False, False],
+            [False, False, True, True],
+            [False, False, False, True],
+        ]
+    )
+    problem = RASAProblem(services, machines, schedulable=schedulable)
+    blocks = split_compatibility(problem, [s.name for s in services])
+    assert sorted(sorted(b) for b in blocks) == [["s0", "s1"], ["s2", "s3"]]
+
+
+def test_split_compatibility_isolated_service():
+    services = [Service("a", 1, {"cpu": 1.0}), Service("dead", 1, {"cpu": 1.0})]
+    machines = [Machine("m", {"cpu": 8.0})]
+    schedulable = np.array([[True], [False]])
+    problem = RASAProblem(services, machines, schedulable=schedulable)
+    blocks = split_compatibility(problem, ["a", "dead"])
+    assert ["dead"] in blocks
+
+
+# ----------------------------------------------------------------------
+# Stage 4 — loss-minimization balanced partitioning
+# ----------------------------------------------------------------------
+def test_balanced_partition_covers_and_is_disjoint():
+    graph = AffinityGraph(
+        {(f"s{i}", f"s{i+1}"): 1.0 for i in range(9)}  # a path of 10 services
+    )
+    services = [f"s{i}" for i in range(10)]
+    rng = np.random.default_rng(0)
+    parts = balanced_partition(graph, services, num_parts=2, rng=rng, max_samples=16)
+    flat = [s for part in parts for s in part]
+    assert sorted(flat) == sorted(services)
+    assert len(parts) == 2
+
+
+def test_balanced_partition_separates_two_communities():
+    # Two dense communities joined by one weak edge: the min-loss split is
+    # exactly the community split.
+    edges = {}
+    for i in range(5):
+        for j in range(i + 1, 5):
+            edges[(f"a{i}", f"a{j}")] = 10.0
+            edges[(f"b{i}", f"b{j}")] = 10.0
+    edges[("a0", "b0")] = 0.1
+    graph = AffinityGraph(edges)
+    services = [f"a{i}" for i in range(5)] + [f"b{i}" for i in range(5)]
+    parts = balanced_partition(
+        graph, services, num_parts=2, rng=np.random.default_rng(1), max_samples=32
+    )
+    sides = [set(p) for p in parts]
+    assert {f"a{i}" for i in range(5)} in sides
+    assert {f"b{i}" for i in range(5)} in sides
+
+
+def test_balanced_partition_trivial_cases():
+    graph = AffinityGraph({("a", "b"): 1.0})
+    assert balanced_partition(graph, ["a", "b"], 1, np.random.default_rng(0)) == [
+        ["a", "b"]
+    ]
+    parts = balanced_partition(graph, ["a", "b"], 2, np.random.default_rng(0))
+    assert sorted(sorted(p) for p in parts) == [["a"], ["b"]]
+
+
+def test_pack_components_respects_max_size():
+    components = [["a", "b"], ["c"], ["d", "e", "f"], ["g"]]
+    bins = pack_components(components, max_size=3)
+    assert all(len(b) <= 3 for b in bins)
+    flat = sorted(s for b in bins for s in b)
+    assert flat == ["a", "b", "c", "d", "e", "f", "g"]
+
+
+def test_pack_components_oversized_component_kept_whole():
+    bins = pack_components([["a", "b", "c", "d"]], max_size=3)
+    assert bins == [["a", "b", "c", "d"]]
+
+
+# ----------------------------------------------------------------------
+# Full partitioners
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "partitioner_cls",
+    [MultiStagePartitioner, RandomPartitioner, KahipLikePartitioner, NoPartitioner],
+)
+def test_partitioners_produce_disjoint_service_and_machine_sets(
+    small_cluster, partitioner_cls
+):
+    problem = small_cluster.problem
+    result = partitioner_cls().partition(problem)
+    seen_services: set[str] = set()
+    seen_machines: set[str] = set()
+    for sub in result.subproblems:
+        assert not (seen_services & set(sub.service_names))
+        assert not (seen_machines & set(sub.machine_names))
+        seen_services |= set(sub.service_names)
+        seen_machines |= set(sub.machine_names)
+    # Crucial + trivial = all services.
+    assert seen_services | set(result.trivial_services) == set(
+        problem.service_names()
+    ) or partitioner_cls is RandomPartitioner
+
+
+def test_multistage_trivial_assignment_only_trivial_rows(small_cluster):
+    problem = small_cluster.problem
+    result = MultiStagePartitioner().partition(problem)
+    trivial_idx = {problem.service_index(s) for s in result.trivial_services}
+    placed_rows = set(np.nonzero(result.trivial_assignment.sum(axis=1))[0].tolist())
+    assert placed_rows <= trivial_idx
+
+
+def test_multistage_retains_most_affinity(medium_cluster):
+    result = MultiStagePartitioner().partition(medium_cluster.problem)
+    # Paper: optimality loss of the partitioning is generally below 12 %.
+    assert result.affinity_retained >= 0.88
+
+
+def test_multistage_respects_subproblem_size_cap(medium_cluster):
+    cap = 20
+    result = MultiStagePartitioner(max_subproblem_services=cap).partition(
+        medium_cluster.problem
+    )
+    # Balanced partitioning is heuristic: allow a small tolerance above the
+    # cap, but nothing should be wildly oversized.
+    assert all(sp.num_services <= 2 * cap for sp in result.subproblems)
+
+
+def test_multistage_residual_capacity_accounts_trivial(small_cluster):
+    problem = small_cluster.problem
+    result = MultiStagePartitioner().partition(problem)
+    for sub in result.subproblems:
+        for name in sub.machine_names:
+            m = problem.machine_index(name)
+            trivial_usage = (
+                result.trivial_assignment[:, m].astype(float)
+                @ problem.requests_matrix
+            )
+            sub_m = sub.problem.machine_index(name)
+            residual = sub.problem.capacities_matrix[sub_m]
+            expected = problem.capacities_matrix[m] - trivial_usage
+            assert np.allclose(residual, np.clip(expected, 0.0, None))
+
+
+def test_no_partitioner_single_subproblem(small_cluster):
+    result = NoPartitioner().partition(small_cluster.problem)
+    assert len(result.subproblems) == 1
+    assert result.trivial_services == []
+    assert result.affinity_retained == pytest.approx(1.0)
+
+
+def test_random_partitioner_deterministic_with_seed(small_cluster):
+    a = RandomPartitioner(seed=5).partition(small_cluster.problem)
+    b = RandomPartitioner(seed=5).partition(small_cluster.problem)
+    assert [sp.service_names for sp in a.subproblems] == [
+        sp.service_names for sp in b.subproblems
+    ]
+
+
+def test_kahip_partitioner_beats_random_on_retention(medium_cluster):
+    problem = medium_cluster.problem
+    kahip = KahipLikePartitioner().partition(problem)
+    random = RandomPartitioner().partition(problem)
+    assert kahip.affinity_retained > random.affinity_retained
+
+
+def test_multistage_stage_timings_recorded(small_cluster):
+    result = MultiStagePartitioner().partition(small_cluster.problem)
+    assert set(result.stages) == {"non_affinity", "master", "compatibility", "balanced"}
+    times = [result.stages[k] for k in ("non_affinity", "master", "compatibility", "balanced")]
+    assert times == sorted(times)  # cumulative timestamps

@@ -1,0 +1,137 @@
+"""Unit tests for patterns, pricing, and the column generation algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AntiAffinityRule, Machine, RASAProblem, Service
+from repro.solvers import ColumnGenerationAlgorithm, GreedyAlgorithm, MIPAlgorithm
+from repro.solvers.patterns import (
+    Pattern,
+    empty_pattern,
+    group_machines,
+    pattern_is_feasible,
+    pattern_value,
+    patterns_from_assignment,
+    price_pattern_greedy,
+    price_pattern_mip,
+)
+
+
+def test_group_machines_by_capacity_and_schedulability(constrained_problem):
+    groups = group_machines(constrained_problem)
+    # m0 differs from m1 by schedulability (db barred), m2 by capacity.
+    assert len(groups) == 3
+    assert sorted(g.count for g in groups) == [1, 1, 1]
+
+
+def test_group_machines_merges_identical(tiny_problem):
+    groups = group_machines(tiny_problem)
+    assert len(groups) == 1
+    assert groups[0].count == 3
+
+
+def test_pattern_value_matches_single_machine_gained_affinity(tiny_problem):
+    counts = np.array([2, 2, 0])
+    value = pattern_value(tiny_problem, counts)
+    # Edge (a, b): 10 * min(2/4, 2/4) = 5; edge (b, c): 0.
+    assert value == pytest.approx(5.0)
+
+
+def test_pattern_feasibility_checks(constrained_problem):
+    groups = group_machines(constrained_problem)
+    small_with_db = next(
+        g for g in groups if g.capacity[0] == 8.0 and all(g.schedulable)
+    )
+    ok = np.array([2, 1, 0])
+    assert pattern_is_feasible(constrained_problem, small_with_db, ok)
+    too_many_web = np.array([3, 0, 0])  # violates the spread limit of 2
+    assert not pattern_is_feasible(constrained_problem, small_with_db, too_many_web)
+    negative = np.array([-1, 0, 0])
+    assert not pattern_is_feasible(constrained_problem, small_with_db, negative)
+
+
+def test_empty_pattern_is_feasible_everywhere(constrained_problem):
+    empty = empty_pattern(constrained_problem)
+    for group in group_machines(constrained_problem):
+        assert pattern_is_feasible(constrained_problem, group, empty.counts)
+
+
+def test_patterns_from_assignment_harvests_and_dedupes(tiny_problem):
+    greedy = GreedyAlgorithm().solve(tiny_problem)
+    groups = group_machines(tiny_problem)
+    harvested = patterns_from_assignment(tiny_problem, greedy.assignment.x, groups)
+    patterns = harvested[0]
+    keys = {p.key() for p in patterns}
+    assert len(keys) == len(patterns)  # deduplicated
+    assert any(p.counts.sum() == 0 for p in patterns)  # empty pattern present
+
+
+def test_mip_pricing_ignores_duals_zero(tiny_problem):
+    groups = group_machines(tiny_problem)
+    duals = np.zeros(tiny_problem.num_services)
+    pattern = price_pattern_mip(tiny_problem, groups[0], duals, time_limit=10)
+    assert pattern is not None
+    # With zero duals the pricer maximizes raw pattern value: collocating
+    # all of a and b (value 10 + partial c edge) fits one machine.
+    assert pattern.value >= 10.0
+
+
+def test_greedy_pricing_returns_feasible_pattern(tiny_problem):
+    groups = group_machines(tiny_problem)
+    duals = np.zeros(tiny_problem.num_services)
+    pattern = price_pattern_greedy(tiny_problem, groups[0], duals)
+    assert pattern is not None
+    assert pattern_is_feasible(tiny_problem, groups[0], pattern.counts)
+
+
+def test_greedy_pricing_high_duals_returns_none(tiny_problem):
+    groups = group_machines(tiny_problem)
+    duals = np.full(tiny_problem.num_services, 1e9)
+    assert price_pattern_greedy(tiny_problem, groups[0], duals) is None
+
+
+def test_cg_reaches_mip_optimum_on_tiny(tiny_problem):
+    mip = MIPAlgorithm().solve(tiny_problem, time_limit=30)
+    cg = ColumnGenerationAlgorithm().solve(tiny_problem, time_limit=30)
+    assert cg.objective == pytest.approx(mip.objective, rel=1e-6)
+    assert cg.assignment.check_feasibility().feasible
+
+
+def test_cg_greedy_pricing_is_valid_but_possibly_weaker(tiny_problem):
+    cg = ColumnGenerationAlgorithm(pricing="greedy").solve(tiny_problem, time_limit=30)
+    assert cg.assignment.check_feasibility(check_sla=False).feasible
+    assert 0.0 <= cg.objective <= tiny_problem.affinity.total_affinity + 1e-9
+
+
+def test_cg_rejects_unknown_pricing():
+    with pytest.raises(ValueError):
+        ColumnGenerationAlgorithm(pricing="quantum")
+
+
+def test_cg_never_worse_than_greedy_seed(small_cluster):
+    problem = small_cluster.problem
+    greedy = GreedyAlgorithm().solve(problem)
+    cg = ColumnGenerationAlgorithm().solve(problem, time_limit=8)
+    assert cg.objective >= greedy.objective - 1e-9
+
+
+def test_cg_on_anti_affinity_spread():
+    """CG must spread a service across machines when anti-affinity forces it."""
+    services = [
+        Service("a", 4, {"cpu": 1.0}),
+        Service("b", 4, {"cpu": 1.0}),
+    ]
+    machines = [Machine(f"m{i}", {"cpu": 16.0}) for i in range(2)]
+    problem = RASAProblem(
+        services,
+        machines,
+        affinity={("a", "b"): 1.0},
+        anti_affinity=[AntiAffinityRule(services=frozenset({"a"}), limit=2)],
+    )
+    result = ColumnGenerationAlgorithm().solve(problem, time_limit=20)
+    report = result.assignment.check_feasibility()
+    assert report.feasible, report.summary()
+    # Perfect proportional split (2+2 / 2+2) still localizes everything.
+    assert result.objective == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies generate small random RASA instances and placements; properties
+assert the paper's structural invariants: objective bounds, partition
+correctness, migration safety, and solver agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffinityGraph, Assignment, Machine, RASAProblem, Service
+from repro.migration import MigrationExecutor, MigrationPathBuilder
+from repro.partitioning import MultiStagePartitioner, balanced_partition
+from repro.solvers import BranchAndBoundSolver, GreedyAlgorithm, LinearModel, solve_milp
+from repro.solvers.greedy import repair_unplaced
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def problems(draw) -> RASAProblem:
+    """Small random RASA instances with enough capacity to be feasible."""
+    num_services = draw(st.integers(2, 6))
+    num_machines = draw(st.integers(2, 4))
+    services = []
+    for i in range(num_services):
+        demand = draw(st.integers(1, 4))
+        cpu = draw(st.sampled_from([1.0, 2.0]))
+        services.append(Service(f"s{i}", demand, {"cpu": cpu}))
+    total_cpu = sum(s.demand * s.requests["cpu"] for s in services)
+    per_machine = max(4.0, 1.5 * total_cpu / num_machines)
+    machines = [Machine(f"m{i}", {"cpu": per_machine}) for i in range(num_machines)]
+
+    edges = {}
+    possible = [(i, j) for i in range(num_services) for j in range(i + 1, num_services)]
+    count = draw(st.integers(0, min(5, len(possible))))
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=count, max_size=count, unique=True)
+    ) if possible and count else []
+    for i, j in chosen:
+        edges[(f"s{i}", f"s{j}")] = draw(
+            st.floats(0.1, 10.0, allow_nan=False, allow_infinity=False)
+        )
+    return RASAProblem(services, machines, affinity=edges)
+
+
+@st.composite
+def placements(draw, problem: RASAProblem) -> np.ndarray:
+    """A random SLA-complete placement ignoring capacity (for objective
+    bounds, which hold regardless of feasibility)."""
+    x = np.zeros((problem.num_services, problem.num_machines), dtype=np.int64)
+    for s in range(problem.num_services):
+        for _ in range(int(problem.demands[s])):
+            m = draw(st.integers(0, problem.num_machines - 1))
+            x[s, m] += 1
+    return x
+
+
+# ----------------------------------------------------------------------
+# Objective properties
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(data=st.data())
+def test_gained_affinity_bounded_by_total(data):
+    problem = data.draw(problems())
+    x = data.draw(placements(problem))
+    assignment = Assignment(problem, x)
+    gained = assignment.gained_affinity()
+    assert -1e-9 <= gained <= problem.affinity.total_affinity + 1e-9
+    normalized = assignment.gained_affinity(normalized=True)
+    if problem.affinity.total_affinity > 0:
+        assert -1e-9 <= normalized <= 1.0 + 1e-9
+
+
+@SETTINGS
+@given(data=st.data())
+def test_all_on_one_machine_maximizes_affinity(data):
+    problem = data.draw(problems())
+    x = np.zeros((problem.num_services, problem.num_machines), dtype=np.int64)
+    x[:, 0] = problem.demands
+    assignment = Assignment(problem, x)
+    if problem.affinity.total_affinity > 0:
+        assert assignment.gained_affinity(normalized=True) == pytest.approx(1.0)
+
+
+@SETTINGS
+@given(data=st.data())
+def test_gained_affinity_pairwise_decomposition(data):
+    problem = data.draw(problems())
+    x = data.draw(placements(problem))
+    assignment = Assignment(problem, x)
+    total = sum(
+        assignment.gained_affinity_of_pair(u, v) for u, v in problem.affinity.edges()
+    )
+    assert total == pytest.approx(assignment.gained_affinity(), abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Greedy / repair properties
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(data=st.data())
+def test_greedy_output_is_feasible(data):
+    problem = data.draw(problems())
+    result = GreedyAlgorithm().solve(problem)
+    report = result.assignment.check_feasibility(check_sla=False)
+    assert report.feasible
+    # Generous capacity in the strategy: everything should be placed.
+    assert result.assignment.x.sum() == problem.num_containers
+
+
+@SETTINGS
+@given(data=st.data())
+def test_repair_preserves_existing_placements(data):
+    problem = data.draw(problems())
+    partial = np.zeros((problem.num_services, problem.num_machines), dtype=np.int64)
+    partial[0, 0] = min(int(problem.demands[0]), 1)
+    repaired = repair_unplaced(problem, partial)
+    assert (repaired >= partial).all()
+    assert repaired.sum() >= partial.sum()
+
+
+# ----------------------------------------------------------------------
+# Partitioning properties
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(data=st.data())
+def test_multistage_partition_covers_all_services(data):
+    problem = data.draw(problems())
+    result = MultiStagePartitioner(max_subproblem_services=3).partition(problem)
+    covered = set(result.trivial_services)
+    for sub in result.subproblems:
+        for name in sub.service_names:
+            assert name not in covered  # disjoint
+            covered.add(name)
+    assert covered == set(problem.service_names())
+
+
+@SETTINGS
+@given(
+    num_services=st.integers(4, 12),
+    num_parts=st.integers(2, 3),
+    seed=st.integers(0, 100),
+)
+def test_balanced_partition_is_a_partition(num_services, num_parts, seed):
+    rng = np.random.default_rng(seed)
+    names = [f"s{i}" for i in range(num_services)]
+    edges = {
+        (names[i], names[i + 1]): float(i + 1) for i in range(num_services - 1)
+    }
+    graph = AffinityGraph(edges)
+    parts = balanced_partition(graph, names, num_parts, rng, max_samples=8)
+    flat = [s for p in parts for s in p]
+    assert sorted(flat) == sorted(names)
+    assert len(flat) == len(set(flat))
+
+
+# ----------------------------------------------------------------------
+# Migration properties
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(data=st.data())
+def test_migration_invariants_hold_for_random_targets(data):
+    problem = data.draw(problems())
+    greedy = GreedyAlgorithm().solve(problem)
+    original = greedy.assignment
+    target_x = data.draw(placements(problem))
+    target = Assignment(problem, target_x)
+    usage = target.machine_usage()
+    if (usage > problem.capacities_matrix + 1e-9).any():
+        return  # capacity-infeasible target: out of scope for the builder
+    plan = MigrationPathBuilder(sla_floor=0.75).build(problem, original, target)
+    trace = MigrationExecutor(strict=True).execute(problem, original, plan)
+    assert trace.peak_overcommit <= 1e-9
+    if plan.complete:
+        assert np.array_equal(trace.final.x, target.x)
+
+
+# ----------------------------------------------------------------------
+# Solver agreement
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(data=st.data())
+def test_bnb_agrees_with_highs_on_random_models(data):
+    rng_seed = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(rng_seed)
+    n = int(rng.integers(2, 6))
+    from scipy import sparse
+
+    values = rng.integers(1, 15, size=n).astype(float)
+    weights = rng.integers(1, 8, size=n).astype(float)
+    model = LinearModel(
+        c=-values,
+        a_ub=sparse.csr_matrix(weights.reshape(1, n)),
+        b_ub=np.array([float(weights.sum()) * 0.6]),
+        ub=np.ones(n),
+        integrality=np.ones(n, dtype=bool),
+    )
+    ours = BranchAndBoundSolver().solve(model)
+    reference = solve_milp(model, backend="highs")
+    assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

@@ -1,0 +1,107 @@
+"""Property-based tests on the solver pool's cross-cutting invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Machine, RASAProblem, Service
+from repro.solvers import ColumnGenerationAlgorithm, MIPAlgorithm
+from repro.solvers.aggregated_mip import AggregatedMIPAlgorithm
+from repro.solvers.patterns import (
+    group_machines,
+    pattern_is_feasible,
+    price_pattern_greedy,
+    price_pattern_mip,
+)
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def homogeneous_problems(draw) -> RASAProblem:
+    """Small instances with identical machines (aggregation is lossless
+    up to rounding there, which these properties exploit)."""
+    num_services = draw(st.integers(2, 5))
+    num_machines = draw(st.integers(2, 3))
+    services = []
+    for i in range(num_services):
+        demand = draw(st.integers(1, 3))
+        services.append(Service(f"s{i}", demand, {"cpu": 1.0}))
+    total = sum(s.demand for s in services)
+    per_machine = max(3.0, 1.5 * total / num_machines)
+    machines = [Machine(f"m{i}", {"cpu": per_machine}) for i in range(num_machines)]
+    edges = {}
+    for i in range(num_services - 1):
+        if draw(st.booleans()):
+            edges[(f"s{i}", f"s{i+1}")] = draw(
+                st.floats(0.5, 5.0, allow_nan=False, allow_infinity=False)
+            )
+    if not edges:
+        edges[("s0", "s1")] = 1.0
+    return RASAProblem(services, machines, affinity=edges)
+
+
+@SETTINGS
+@given(data=st.data())
+def test_aggregated_bracketed_by_flat_optimum(data):
+    problem = data.draw(homogeneous_problems())
+    flat = MIPAlgorithm().solve(problem, time_limit=20)
+    agg = AggregatedMIPAlgorithm().solve(problem, time_limit=20)
+    # The flat MIP is the exact optimum, so the aggregated algorithm's
+    # realized placement can never beat it; quota deaggregation may round
+    # away some value, but the greedy floor bounds the loss.
+    assert agg.objective <= flat.objective + 1e-6
+    assert agg.objective >= 0.6 * flat.objective - 1e-9
+    assert agg.assignment.check_feasibility(check_sla=False).feasible
+
+
+@SETTINGS
+@given(data=st.data())
+def test_cg_between_greedy_and_total(data):
+    problem = data.draw(homogeneous_problems())
+    cg = ColumnGenerationAlgorithm().solve(problem, time_limit=20)
+    assert -1e-9 <= cg.objective <= problem.affinity.total_affinity + 1e-9
+    assert cg.assignment.check_feasibility(check_sla=False).feasible
+
+
+@SETTINGS
+@given(data=st.data())
+def test_pricing_always_returns_feasible_patterns(data):
+    problem = data.draw(homogeneous_problems())
+    duals = np.array(
+        [
+            data.draw(st.floats(0.0, 2.0, allow_nan=False, allow_infinity=False))
+            for _ in range(problem.num_services)
+        ]
+    )
+    for group in group_machines(problem):
+        exact = price_pattern_mip(problem, group, duals, time_limit=5)
+        if exact is not None:
+            assert pattern_is_feasible(problem, group, exact.counts)
+            assert exact.value >= -1e-9
+        greedy = price_pattern_greedy(problem, group, duals)
+        if greedy is not None:
+            assert pattern_is_feasible(problem, group, greedy.counts)
+
+
+@SETTINGS
+@given(data=st.data())
+def test_exact_pricing_dominates_greedy_pricing(data):
+    """The MILP pricer's reduced cost is >= the greedy pricer's."""
+    problem = data.draw(homogeneous_problems())
+    duals = np.zeros(problem.num_services)
+    for group in group_machines(problem):
+        exact = price_pattern_mip(problem, group, duals, time_limit=5)
+        greedy = price_pattern_greedy(problem, group, duals)
+        if exact is None or greedy is None:
+            continue
+        exact_net = exact.value - float(duals @ exact.counts)
+        greedy_net = greedy.value - float(duals @ greedy.counts)
+        assert exact_net >= greedy_net - 1e-6

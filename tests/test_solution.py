@@ -1,0 +1,174 @@
+"""Unit tests for assignments: the gained-affinity objective and feasibility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment, Machine, RASAProblem, Service
+from repro.exceptions import ProblemValidationError
+
+
+def _assignment(problem, rows):
+    return Assignment(problem, np.array(rows, dtype=np.int64))
+
+
+def test_gained_affinity_definition_1(tiny_problem):
+    # Place 2 of a and 2 of b on m0, rest elsewhere: min(2/4, 2/4) = 0.5.
+    x = _assignment(
+        tiny_problem,
+        [
+            [2, 2, 0],
+            [2, 2, 0],
+            [0, 0, 2],
+        ],
+    )
+    # Edge (a,b): machines m0, m1 each contribute 10 * 0.5; edge (b,c): 0.
+    assert x.gained_affinity() == pytest.approx(10.0)
+    assert x.gained_affinity(normalized=True) == pytest.approx(10.0 / 13.0)
+
+
+def test_gained_affinity_uses_min_ratio(tiny_problem):
+    # All of a on m0 but only 1 of b there: min(4/4, 1/4) = 0.25.
+    x = _assignment(
+        tiny_problem,
+        [
+            [4, 0, 0],
+            [1, 3, 0],
+            [0, 0, 2],
+        ],
+    )
+    assert x.gained_affinity_of_pair("a", "b") == pytest.approx(10.0 * 0.25)
+
+
+def test_gained_affinity_empty_graph():
+    problem = RASAProblem(
+        [Service("a", 1, {"cpu": 1.0})], [Machine("m", {"cpu": 4.0})]
+    )
+    x = _assignment(problem, [[1]])
+    assert x.gained_affinity() == 0.0
+    assert x.gained_affinity(normalized=True) == 0.0
+
+
+def test_localization_ratio(tiny_problem):
+    x = _assignment(tiny_problem, [[4, 0, 0], [4, 0, 0], [0, 2, 0]])
+    assert x.localization_ratio("a", "b") == pytest.approx(1.0)
+    assert x.localization_ratio("b", "c") == pytest.approx(0.0)
+    assert x.localization_ratio("a", "c") == 0.0  # no edge
+
+
+def test_perfect_collocation_reaches_total_affinity(tiny_problem):
+    x = _assignment(tiny_problem, [[4, 0, 0], [4, 0, 0], [4 // 2, 0, 0]])
+    # Everything on m0: both edges fully localized.
+    assert x.gained_affinity(normalized=True) == pytest.approx(1.0)
+
+
+def test_feasibility_detects_sla_violation(tiny_problem):
+    x = _assignment(tiny_problem, [[3, 0, 0], [4, 0, 0], [0, 0, 2]])
+    report = x.check_feasibility()
+    assert not report.feasible
+    assert ("a", 3, 4) in report.sla_violations
+
+
+def test_feasibility_sla_check_can_be_skipped(tiny_problem):
+    x = _assignment(tiny_problem, [[3, 0, 0], [4, 0, 0], [0, 0, 2]])
+    assert x.check_feasibility(check_sla=False).feasible
+
+
+def test_feasibility_detects_resource_violation():
+    problem = RASAProblem(
+        [Service("a", 4, {"cpu": 4.0})], [Machine("m", {"cpu": 8.0})]
+    )
+    x = _assignment(problem, [[4]])
+    report = x.check_feasibility()
+    assert report.resource_violations
+    machine, resource, used, cap = report.resource_violations[0]
+    assert (machine, resource) == ("m", "cpu")
+    assert used == pytest.approx(16.0)
+    assert cap == pytest.approx(8.0)
+
+
+def test_feasibility_detects_anti_affinity_violation(constrained_problem):
+    x = _assignment(
+        constrained_problem,
+        [
+            [3, 3, 0],  # web: 3 per machine exceeds the limit of 2
+            [0, 1, 1],
+            [3, 0, 0],
+        ],
+    )
+    report = x.check_feasibility()
+    assert report.anti_affinity_violations
+    assert report.anti_affinity_violations[0][3] == 2  # the limit
+
+
+def test_feasibility_detects_schedulable_violation(constrained_problem):
+    x = _assignment(
+        constrained_problem,
+        [
+            [2, 2, 2],
+            [1, 1, 0],  # db on m0 is forbidden
+            [3, 0, 0],
+        ],
+    )
+    report = x.check_feasibility()
+    assert ("db", "m0") in report.schedulable_violations
+
+
+def test_feasible_assignment_reports_feasible(constrained_problem):
+    x = _assignment(
+        constrained_problem,
+        [
+            [2, 2, 2],
+            [0, 1, 1],
+            [3, 0, 0],
+        ],
+    )
+    report = x.check_feasibility()
+    assert report.feasible, report.summary()
+    assert report.summary() == "feasible"
+
+
+def test_assignment_shape_and_negativity_validation(tiny_problem):
+    with pytest.raises(ProblemValidationError):
+        Assignment(tiny_problem, np.zeros((2, 3), dtype=int))
+    with pytest.raises(ProblemValidationError):
+        Assignment(tiny_problem, -np.ones((3, 3), dtype=int))
+
+
+def test_assignment_accepts_near_integral_floats(tiny_problem):
+    x = Assignment(tiny_problem, np.full((3, 3), 1.0 + 1e-9))
+    assert x.x.dtype == np.int64
+    with pytest.raises(ProblemValidationError):
+        Assignment(tiny_problem, np.full((3, 3), 0.5))
+
+
+def test_machine_usage_and_utilization(tiny_problem):
+    x = _assignment(tiny_problem, [[4, 0, 0], [0, 4, 0], [0, 0, 2]])
+    usage = x.machine_usage()
+    cpu = tiny_problem.resource_types.index("cpu")
+    assert usage[0, cpu] == pytest.approx(8.0)
+    util = x.machine_utilization()
+    assert util[0, cpu] == pytest.approx(0.5)
+
+
+def test_moved_containers_counts_creations(tiny_problem):
+    a = _assignment(tiny_problem, [[4, 0, 0], [0, 4, 0], [0, 0, 2]])
+    b = _assignment(tiny_problem, [[0, 4, 0], [0, 4, 0], [0, 0, 2]])
+    assert b.moved_containers(a) == 4
+    assert a.moved_containers(a) == 0
+
+
+def test_merge_subassignment(tiny_problem):
+    base = Assignment.empty(tiny_problem)
+    sub_problem = tiny_problem.subproblem(["a", "b"], ["m0", "m1"])
+    sub = Assignment(sub_problem, np.array([[4, 0], [4, 0]]))
+    merged = base.merge_subassignment(sub, ["a", "b"], ["m0", "m1"])
+    assert merged.x[0, 0] == 4
+    assert merged.x[1, 0] == 4
+    assert merged.x[2].sum() == 0
+
+
+def test_from_current_requires_current(tiny_problem):
+    with pytest.raises(ProblemValidationError):
+        Assignment.from_current(tiny_problem)

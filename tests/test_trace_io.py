@@ -1,0 +1,89 @@
+"""Unit tests for JSON trace serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemValidationError
+from repro.workloads.trace_io import (
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    problem_from_dict,
+    problem_to_dict,
+    save_trace,
+)
+
+
+def test_round_trip_preserves_everything(constrained_problem, tmp_path):
+    path = tmp_path / "trace.json"
+    save_trace(constrained_problem, path)
+    restored = load_trace(path)
+
+    assert restored.service_names() == constrained_problem.service_names()
+    assert restored.machine_names() == constrained_problem.machine_names()
+    assert restored.resource_types == constrained_problem.resource_types
+    for (u, v), w in constrained_problem.affinity.items():
+        assert restored.affinity.weight(u, v) == pytest.approx(w)
+    assert len(restored.anti_affinity) == len(constrained_problem.anti_affinity)
+    assert np.array_equal(restored.schedulable, constrained_problem.schedulable)
+    assert restored.current_assignment is None
+
+
+def test_round_trip_with_current_assignment(small_cluster, tmp_path):
+    path = tmp_path / "cluster.json"
+    save_trace(small_cluster.problem, path)
+    restored = load_trace(path)
+    assert np.array_equal(
+        restored.current_assignment, small_cluster.problem.current_assignment
+    )
+    assert restored.num_containers == small_cluster.problem.num_containers
+
+
+def test_all_schedulable_matrix_omitted(tiny_problem):
+    payload = problem_to_dict(tiny_problem)
+    assert "schedulable" not in payload
+    restored = problem_from_dict(payload)
+    assert restored.schedulable.all()
+
+
+def test_priority_round_trip(tmp_path):
+    from repro.core import Machine, RASAProblem, Service
+
+    problem = RASAProblem(
+        [Service("a", 1, {"cpu": 1.0}, priority=3.0)],
+        [Machine("m", {"cpu": 4.0})],
+    )
+    path = tmp_path / "p.json"
+    save_trace(problem, path)
+    assert load_trace(path).services[0].priority == 3.0
+
+
+def test_version_mismatch_rejected(tiny_problem):
+    payload = problem_to_dict(tiny_problem)
+    payload["format_version"] = TRACE_FORMAT_VERSION + 1
+    with pytest.raises(ProblemValidationError):
+        problem_from_dict(payload)
+
+
+def test_malformed_payload_rejected(tiny_problem):
+    payload = problem_to_dict(tiny_problem)
+    del payload["services"][0]["demand"]
+    with pytest.raises(ProblemValidationError):
+        problem_from_dict(payload)
+
+
+def test_invalid_json_file_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ProblemValidationError):
+        load_trace(path)
+
+
+def test_trace_usable_by_scheduler(tiny_problem, tmp_path):
+    from repro.core import RASAScheduler
+
+    path = tmp_path / "t.json"
+    save_trace(tiny_problem, path)
+    result = RASAScheduler().schedule(load_trace(path), time_limit=10)
+    assert result.gained_affinity == pytest.approx(1.0)

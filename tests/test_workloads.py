@@ -1,0 +1,153 @@
+"""Unit tests for synthetic workload generation and power-law fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Assignment
+from repro.exceptions import ReproError
+from repro.workloads import (
+    EVALUATION_SPECS,
+    PAPER_SCALES,
+    TRAINING_SPECS,
+    ClusterSpec,
+    compare_fits,
+    fit_exponential,
+    fit_powerlaw,
+    generate_cluster,
+    load_cluster,
+    total_affinity_series,
+)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(name="x", num_services=1, num_containers=10, num_machines=2)
+    with pytest.raises(ValueError):
+        ClusterSpec(
+            name="x",
+            num_services=10,
+            num_containers=10,
+            num_machines=2,
+            affinity_beta=0.9,
+        )
+
+
+def test_generation_is_deterministic():
+    spec = ClusterSpec(
+        name="det", num_services=30, num_containers=120, num_machines=8, seed=5
+    )
+    a = generate_cluster(spec)
+    b = generate_cluster(spec)
+    assert np.array_equal(a.problem.current_assignment, b.problem.current_assignment)
+    assert a.qps == b.qps
+
+
+def test_generated_cluster_is_capacity_feasible(small_cluster):
+    problem = small_cluster.problem
+    requested = problem.total_request()
+    capacity = problem.capacities_matrix.sum(axis=0)
+    assert (requested <= capacity * 0.80 + 1e-9).all()
+
+
+def test_generated_current_assignment_feasible(small_cluster):
+    assignment = Assignment(small_cluster.problem, small_cluster.problem.current_assignment)
+    report = assignment.check_feasibility(check_sla=False)
+    assert report.feasible, report.summary()
+    # All (or nearly all) containers placed by the first-fit stand-in.
+    placed = assignment.x.sum()
+    assert placed >= 0.97 * small_cluster.problem.num_containers
+
+
+def test_qps_matches_affinity_weights(small_cluster):
+    for pair, volume in small_cluster.qps.items():
+        assert small_cluster.problem.affinity.weight(*pair) == pytest.approx(volume)
+
+
+def test_compatibility_pools_align_with_apps(small_cluster):
+    # Every affinity edge must be realizable: some machine hosts both ends.
+    problem = small_cluster.problem
+    for (u, v) in problem.affinity.edges():
+        s = problem.service_index(u)
+        t = problem.service_index(v)
+        both = problem.schedulable[s] & problem.schedulable[t]
+        assert both.any(), f"edge ({u}, {v}) is unrealizable"
+
+
+def test_anti_affinity_rules_are_satisfiable(small_cluster):
+    problem = small_cluster.problem
+    for rule in problem.anti_affinity:
+        (name,) = tuple(rule.services)
+        s = problem.service_index(name)
+        compatible = int(problem.schedulable[s].sum())
+        assert rule.limit * max(compatible, 1) >= problem.demands[s]
+
+
+# ----------------------------------------------------------------------
+# Dataset registry
+# ----------------------------------------------------------------------
+def test_registry_names_and_paper_scales():
+    assert set(EVALUATION_SPECS) == {"M1", "M2", "M3", "M4"}
+    assert set(TRAINING_SPECS) == {"T1", "T2", "T3", "T4"}
+    assert set(PAPER_SCALES) == {"M1", "M2", "M3", "M4"}
+    # Paper ordering by containers: M2 > M4 > M1 > M3 (Tab. II).
+    paper = [PAPER_SCALES[n]["containers"] for n in ("M2", "M4", "M1", "M3")]
+    assert paper == sorted(paper, reverse=True)
+    scaled = [EVALUATION_SPECS[n].num_containers for n in ("M2", "M4", "M1", "M3")]
+    assert scaled == sorted(scaled, reverse=True)
+
+
+def test_load_cluster_is_memoized_and_validates():
+    a = load_cluster("M3")
+    b = load_cluster("M3")
+    assert a is b
+    with pytest.raises(KeyError):
+        load_cluster("M9")
+
+
+# ----------------------------------------------------------------------
+# Power-law fitting (Fig. 5 machinery)
+# ----------------------------------------------------------------------
+def test_fit_powerlaw_recovers_exponent():
+    ranks = np.arange(1, 60, dtype=float)
+    totals = 100.0 * ranks**-1.7
+    fit = fit_powerlaw(totals)
+    assert fit.family == "powerlaw"
+    assert fit.params[1] == pytest.approx(1.7, abs=1e-6)
+    assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+
+def test_fit_exponential_recovers_rate():
+    ranks = np.arange(1, 60, dtype=float)
+    totals = 10.0 * np.exp(-0.1 * ranks)
+    fit = fit_exponential(totals)
+    assert fit.params[1] == pytest.approx(0.1, abs=1e-6)
+    assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+
+def test_fit_predict_round_trip():
+    ranks = np.arange(1, 20, dtype=float)
+    totals = 5.0 * ranks**-2.0
+    fit = fit_powerlaw(totals)
+    assert np.allclose(fit.predict(ranks), totals, rtol=1e-6)
+
+
+def test_fits_require_enough_points():
+    with pytest.raises(ReproError):
+        fit_powerlaw(np.array([1.0, 0.5]))
+    with pytest.raises(ReproError):
+        fit_exponential(np.array([1.0, 0.0, 0.0]))
+
+
+def test_total_affinity_series_sorted(small_cluster):
+    series = total_affinity_series(small_cluster.problem.affinity, top=10)
+    assert len(series) == 10
+    assert (np.diff(series) <= 1e-12).all()
+
+
+def test_generated_affinity_prefers_powerlaw(small_cluster):
+    # Fig. 5's qualitative claim on our generator's output.
+    powerlaw, exponential = compare_fits(small_cluster.problem.affinity, top=30)
+    assert powerlaw.params[1] > 0.5  # visibly skewed
+    assert powerlaw.r_squared > 0.8
