@@ -9,6 +9,11 @@ Subcommands mirror the workflows a cluster operator needs:
 * ``rasa compare`` — run every baseline plus RASA on a trace.
 * ``rasa inspect`` — placement metrics and skew profile of a trace.
 
+Every subcommand accepts ``--log-level`` (structured ``repro.*`` logging
+to stderr) and ``--quiet`` (suppress the plain-text stdout report);
+``rasa optimize`` additionally writes Chrome trace-event JSON with
+``--trace-out`` and a metrics snapshot with ``--metrics-out``.
+
 Installed as the ``rasa`` console script via pyproject.
 """
 
@@ -16,12 +21,28 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Callable
 
 from repro.analysis import pair_localization_table, placement_metrics
 from repro.core import Assignment, RASAScheduler
 from repro.migration import MigrationPathBuilder
+from repro.obs import Tracer, configure_logging, get_logger, get_metrics, set_tracer
 from repro.workloads import ClusterSpec, generate_cluster, load_cluster
 from repro.workloads.trace_io import load_trace, save_trace
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        type=str.upper,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        help="enable structured logging to stderr at this level (e.g. INFO)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the plain-text stdout report (log lines still emitted)",
+    )
 
 
 def _add_generate(subparsers) -> None:
@@ -35,6 +56,7 @@ def _add_generate(subparsers) -> None:
     parser.add_argument("--machines", type=int, default=16)
     parser.add_argument("--beta", type=float, default=2.0, help="affinity skew exponent")
     parser.add_argument("--seed", type=int, default=0)
+    _add_common(parser)
 
 
 def _add_optimize(subparsers) -> None:
@@ -48,6 +70,15 @@ def _add_optimize(subparsers) -> None:
         action="store_true",
         help="also compute and print the migration path (needs a current assignment)",
     )
+    parser.add_argument(
+        "--trace-out",
+        help="write Chrome trace-event JSON (open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        help="write the metrics-registry snapshot as JSON",
+    )
+    _add_common(parser)
 
 
 def _add_compare(subparsers) -> None:
@@ -56,12 +87,14 @@ def _add_compare(subparsers) -> None:
     )
     parser.add_argument("trace", help="JSON trace file")
     parser.add_argument("--time-limit", type=float, default=10.0)
+    _add_common(parser)
 
 
 def _add_inspect(subparsers) -> None:
     parser = subparsers.add_parser("inspect", help="placement metrics of a trace")
     parser.add_argument("trace", help="JSON trace file")
     parser.add_argument("--top-pairs", type=int, default=10)
+    _add_common(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,10 +111,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_output(args: argparse.Namespace) -> Callable[[str], None]:
+    """Stdout reporter that mirrors every line into the structured logger.
+
+    The plain-text stdout report stays the default format; ``--quiet``
+    silences stdout while the ``repro.cli`` logger (enabled via
+    ``--log-level``) still receives each line.
+    """
+    logger = get_logger("cli")
+    quiet = bool(getattr(args, "quiet", False))
+
+    def out(message: str) -> None:
+        if not quiet:
+            print(message)
+        logger.info(message)
+
+    return out
+
+
 # ----------------------------------------------------------------------
 # Command implementations
 # ----------------------------------------------------------------------
 def cmd_generate(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     if args.dataset:
         problem = load_cluster(args.dataset).problem
     else:
@@ -95,31 +147,55 @@ def cmd_generate(args: argparse.Namespace) -> int:
         )
         problem = generate_cluster(spec).problem
     save_trace(problem, args.output)
-    print(f"wrote {problem} to {args.output}")
+    out(f"wrote {problem} to {args.output}")
     return 0
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     problem = load_trace(args.trace)
-    result = RASAScheduler().schedule(problem, time_limit=args.time_limit)
-    print(f"gained affinity: {result.gained_affinity:.2%}")
-    print(f"runtime: {result.runtime_seconds:.1f}s")
+
+    metrics = get_metrics()
+    metrics.reset()
+    tracer = Tracer() if args.trace_out else None
+    previous = set_tracer(tracer) if tracer is not None else None
+    try:
+        result = RASAScheduler().schedule(problem, time_limit=args.time_limit)
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
+
+    out(f"gained affinity: {result.gained_affinity:.2%}")
+    out(f"runtime: {result.runtime_seconds:.1f}s")
     for report in result.reports:
-        print(
+        out(
             f"  shard {report.subproblem.num_services:>4d} services "
             f"-> {report.selected_algorithm}: {report.result.status}"
         )
     feasibility = result.assignment.check_feasibility()
-    print(f"placement: {feasibility.summary()}")
+    out(f"placement: {feasibility.summary()}")
 
+    exit_code = 0
     if args.migration_plan:
         if problem.current_assignment is None:
-            print("trace has no current assignment; skipping migration plan")
-            return 1
-        original = Assignment(problem, problem.current_assignment)
-        plan = MigrationPathBuilder().build(problem, original, result.assignment)
-        print(f"migration: {plan.summary()} ({plan.moved_containers} containers)")
-    return 0
+            out("trace has no current assignment; skipping migration plan")
+            exit_code = 1
+        else:
+            original = Assignment(problem, problem.current_assignment)
+            plan = MigrationPathBuilder().build(problem, original, result.assignment)
+            out(f"migration: {plan.summary()} ({plan.moved_containers} containers)")
+
+    try:
+        if tracer is not None:
+            tracer.export(args.trace_out)
+            out(f"wrote trace to {args.trace_out}")
+        if args.metrics_out:
+            metrics.export(args.metrics_out)
+            out(f"wrote metrics to {args.metrics_out}")
+    except OSError as exc:
+        print(f"error: could not write observability output: {exc}", file=sys.stderr)
+        exit_code = 1
+    return exit_code
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -130,6 +206,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         POPAlgorithm,
     )
 
+    out = _make_output(args)
     problem = load_trace(args.trace)
     total = problem.affinity.total_affinity or 1.0
     algorithms = [
@@ -138,38 +215,39 @@ def cmd_compare(args: argparse.Namespace) -> int:
         POPAlgorithm(),
         ApplSci19Algorithm(),
     ]
-    print(f"{'algorithm':12s} {'gained':>8s} {'runtime':>9s}")
+    out(f"{'algorithm':12s} {'gained':>8s} {'runtime':>9s}")
     for algorithm in algorithms:
         result = algorithm.solve(problem, time_limit=args.time_limit)
-        print(
+        out(
             f"{algorithm.name:12s} {result.objective / total:>8.3f} "
             f"{result.runtime_seconds:>8.1f}s"
         )
     result = RASAScheduler().schedule(problem, time_limit=args.time_limit)
-    print(f"{'rasa':12s} {result.gained_affinity:>8.3f} "
-          f"{result.runtime_seconds:>8.1f}s")
+    out(f"{'rasa':12s} {result.gained_affinity:>8.3f} "
+        f"{result.runtime_seconds:>8.1f}s")
     return 0
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
+    out = _make_output(args)
     problem = load_trace(args.trace)
-    print(f"{problem}")
+    out(f"{problem}")
     if problem.current_assignment is None:
-        print("trace has no current assignment")
+        out("trace has no current assignment")
         return 1
     assignment = Assignment(problem, problem.current_assignment)
     metrics = placement_metrics(assignment)
-    print(f"gained affinity:    {metrics.gained_affinity:.2%}")
-    print(
+    out(f"gained affinity:    {metrics.gained_affinity:.2%}")
+    out(
         f"pairs localized:    {metrics.localized_pairs} full, "
         f"{metrics.partially_localized_pairs} partial, {metrics.remote_pairs} remote"
     )
-    print(f"mean utilization:   {metrics.mean_utilization:.1%} "
-          f"(std {metrics.utilization_std:.3f})")
-    print(f"unplaced containers: {metrics.unplaced_containers}")
-    print(f"\ntop {args.top_pairs} pairs by traffic:")
+    out(f"mean utilization:   {metrics.mean_utilization:.1%} "
+        f"(std {metrics.utilization_std:.3f})")
+    out(f"unplaced containers: {metrics.unplaced_containers}")
+    out(f"\ntop {args.top_pairs} pairs by traffic:")
     for u, v, weight, ratio in pair_localization_table(assignment, top=args.top_pairs):
-        print(f"  {u} <-> {v}: weight={weight:.1f} localized={ratio:.1%}")
+        out(f"  {u} <-> {v}: weight={weight:.1f} localized={ratio:.1%}")
     return 0
 
 
@@ -184,6 +262,8 @@ COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
     return COMMANDS[args.command](args)
 
 

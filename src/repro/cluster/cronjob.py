@@ -25,6 +25,7 @@ from repro.core.rasa import RASAScheduler
 from repro.core.solution import Assignment
 from repro.exceptions import ClusterStateError
 from repro.migration.path import MigrationPathBuilder
+from repro.obs import get_logger, get_metrics, get_tracer, kv
 
 #: The paper's churn gate: execute only on > 3 % gained-affinity improvement.
 IMPROVEMENT_GATE = 0.03
@@ -45,6 +46,8 @@ class CycleReport:
         moved_containers: Containers relocated (0 for dry runs).
         imbalance_after: Machine-utilization standard deviation after the
             cycle.
+        metrics: Snapshot of the process metrics registry taken when the
+            cycle finished.
     """
 
     cycle: int
@@ -53,6 +56,7 @@ class CycleReport:
     gained_after: float
     moved_containers: int = 0
     imbalance_after: float = 0.0
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -86,7 +90,30 @@ class CronJobController:
     def run_once(self) -> CycleReport:
         """Run one full optimization cycle and return its report."""
         cycle = len(self.history)
-        problem = self.collector.collect(self.state)
+        tracer = get_tracer()
+        logger = get_logger("cluster.cronjob")
+        with tracer.span("cron.cycle", cycle=cycle) as span:
+            report = self._run_cycle(cycle, tracer, logger)
+            span.set_tag("action", report.action)
+            span.set_tag("gained_after", report.gained_after)
+            span.set_tag("moved_containers", report.moved_containers)
+        report.metrics = get_metrics().snapshot()
+        logger.info(
+            "cycle done %s",
+            kv(
+                cycle=cycle,
+                action=report.action,
+                gained_after=f"{report.gained_after:.4f}",
+                moved=report.moved_containers,
+            ),
+        )
+        self.history.append(report)
+        return report
+
+    def _run_cycle(self, cycle: int, tracer, logger) -> CycleReport:
+        """The cycle body: collect → schedule → gate → migrate → guard."""
+        with tracer.span("cron.collect"):
+            problem = self.collector.collect(self.state)
         current = Assignment(problem, problem.current_assignment)
         gained_before = current.gained_affinity(normalized=True)
 
@@ -95,35 +122,66 @@ class CronJobController:
 
         improvement = gained_new - gained_before
         relative = improvement / gained_before if gained_before > 0 else np.inf
-        if gained_new <= gained_before or (
+        gated = gained_new <= gained_before or (
             gained_before > 0 and relative <= self.improvement_gate
-        ):
-            report = CycleReport(
+        )
+        tracer.event(
+            "cron.gate",
+            executed=not gated,
+            gained_before=gained_before,
+            gained_new=gained_new,
+            relative_improvement=relative if np.isfinite(relative) else None,
+        )
+        if gated:
+            logger.info(
+                "dry run %s",
+                kv(
+                    cycle=cycle,
+                    gained_before=f"{gained_before:.4f}",
+                    gained_new=f"{gained_new:.4f}",
+                    gate=self.improvement_gate,
+                ),
+            )
+            return CycleReport(
                 cycle=cycle,
                 action="dry_run",
                 gained_before=gained_before,
                 gained_after=gained_before,
                 imbalance_after=self.state.utilization_imbalance(),
             )
-            self.history.append(report)
-            return report
 
         before_placement = self.state.placement
         plan = MigrationPathBuilder(sla_floor=self.sla_floor).build(
             problem, current, result.assignment
         )
-        self._apply(plan)
+        with tracer.span("cron.apply", steps=len(plan.steps)):
+            self._apply(plan)
 
         imbalance = self.state.utilization_imbalance()
         if self.rollback_imbalance is not None and imbalance > self.rollback_imbalance:
             skewed = self._skewed_machines()
+            tracer.event(
+                "cron.rollback",
+                imbalance=imbalance,
+                threshold=self.rollback_imbalance,
+                tagged_machines=len(skewed),
+            )
+            logger.warning(
+                "rollback %s",
+                kv(
+                    cycle=cycle,
+                    imbalance=f"{imbalance:.4f}",
+                    threshold=self.rollback_imbalance,
+                    tagged_machines=len(skewed),
+                ),
+            )
             self.state.restore(before_placement)
             for machine in skewed:
                 self.state.mark_unschedulable(
                     machine, self.state.clock + UNSCHEDULABLE_SECONDS
                 )
             self.default_scheduler.place_missing(self.state)
-            report = CycleReport(
+            return CycleReport(
                 cycle=cycle,
                 action="rolled_back",
                 gained_before=gained_before,
@@ -131,12 +189,10 @@ class CronJobController:
                 moved_containers=plan.moved_containers,
                 imbalance_after=self.state.utilization_imbalance(),
             )
-            self.history.append(report)
-            return report
 
         # Containers the plan could not move stay with the default scheduler.
         self.default_scheduler.place_missing(self.state)
-        report = CycleReport(
+        return CycleReport(
             cycle=cycle,
             action="executed",
             gained_before=gained_before,
@@ -144,8 +200,6 @@ class CronJobController:
             moved_containers=plan.moved_containers,
             imbalance_after=imbalance,
         )
-        self.history.append(report)
-        return report
 
     def run(self, cycles: int) -> list[CycleReport]:
         """Run several cycles, advancing the simulated clock between them."""

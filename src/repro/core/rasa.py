@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.config import RASAConfig
 from repro.core.problem import RASAProblem
 from repro.core.solution import Assignment
+from repro.obs import get_logger, get_metrics, get_tracer, kv
 from repro.partitioning.base import PartitionResult, Partitioner, Subproblem
 from repro.partitioning.multistage import MultiStagePartitioner
 from repro.selection.selector import AlgorithmSelector, HeuristicSelector
@@ -45,8 +46,12 @@ class RASAResult:
         reports: Per-subproblem algorithm choices and solve results.
         runtime_seconds: Total wall-clock time.
         trajectory: Cumulative ``(elapsed_seconds, normalized_gained)``
-            points recorded after each subproblem solve — RASA is an
-            anytime algorithm (halting mid-run returns the current best).
+            points — RASA is an anytime algorithm (halting mid-run returns
+            the current best).  Each subproblem solve contributes its full
+            incumbent history (offset by the solve's start time), restoring
+            the paper's Fig. 10 anytime-curve resolution.
+        metrics: Snapshot of the process metrics registry taken when the
+            run finished (solver counters, per-phase duration histograms).
     """
 
     assignment: Assignment
@@ -55,6 +60,7 @@ class RASAResult:
     reports: list[SubproblemReport] = field(default_factory=list)
     runtime_seconds: float = 0.0
     trajectory: list[tuple[float, float]] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
 
 
 class RASAScheduler:
@@ -101,66 +107,133 @@ class RASAScheduler:
         Returns:
             The merged placement plus per-phase diagnostics.
         """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        logger = get_logger("core.rasa")
         watch = Stopwatch(time_limit)
-        partition = self.partitioner.partition(problem)
+        with tracer.span(
+            "rasa.schedule",
+            services=problem.num_services,
+            machines=problem.num_machines,
+            time_limit=time_limit,
+        ) as run_span:
+            with tracer.span("rasa.partition") as span:
+                partition = self.partitioner.partition(problem)
+                span.set_tag("subproblems", len(partition.subproblems))
+                span.set_tag("affinity_retained", partition.affinity_retained)
+            metrics.histogram("rasa.phase.partition.seconds").observe(watch.elapsed)
 
-        merged = partition.trivial_assignment.copy()
-        assignment = Assignment(problem, merged)
-        trajectory = [(watch.elapsed, assignment.gained_affinity(normalized=True))]
+            merged = partition.trivial_assignment.copy()
+            assignment = Assignment(problem, merged)
+            trajectory = [(watch.elapsed, assignment.gained_affinity(normalized=True))]
 
-        budgets = self._budgets(partition.subproblems, watch)
-        reports: list[SubproblemReport] = []
-        # Solve high-affinity shards first so early stopping keeps the most
-        # valuable improvements.
-        order = sorted(
-            range(len(partition.subproblems)),
-            key=lambda i: -partition.subproblems[i].total_affinity,
-        )
-        for i in order:
-            subproblem = partition.subproblems[i]
-            if watch.expired:
-                break
-            label = self.selector.select(subproblem)
-            algorithm = self._algorithm(label)
-            budget = budgets[i]
-            remaining = watch.remaining
-            if remaining is not None:
-                budget = max(self.config.min_subproblem_budget, min(budget, remaining))
-            result = algorithm.solve(subproblem.problem, time_limit=budget)
-            reports.append(
-                SubproblemReport(
-                    subproblem=subproblem,
-                    selected_algorithm=label,
-                    result=result,
+            budgets = self._budgets(partition.subproblems, watch)
+            reports: list[SubproblemReport] = []
+            # Solve high-affinity shards first so early stopping keeps the
+            # most valuable improvements.
+            order = sorted(
+                range(len(partition.subproblems)),
+                key=lambda i: -partition.subproblems[i].total_affinity,
+            )
+            for i in order:
+                subproblem = partition.subproblems[i]
+                if watch.expired:
+                    break
+                select_start = watch.elapsed
+                with tracer.span(
+                    "rasa.select", services=subproblem.num_services
+                ) as span:
+                    label = self.selector.select(subproblem)
+                    span.set_tag("algorithm", label)
+                metrics.histogram("rasa.phase.select.seconds").observe(
+                    watch.elapsed - select_start
                 )
-            )
-            assignment = assignment.merge_subassignment(
-                result.assignment,
-                subproblem.service_names,
-                subproblem.machine_names,
-            )
-            trajectory.append((watch.elapsed, assignment.gained_affinity(normalized=True)))
+                algorithm = self._algorithm(label)
+                budget = budgets[i]
+                remaining = watch.remaining
+                if remaining is not None:
+                    budget = max(
+                        self.config.min_subproblem_budget, min(budget, remaining)
+                    )
+                solve_start = watch.elapsed
+                with tracer.span(
+                    "rasa.solve",
+                    algorithm=label,
+                    budget=None if budget == np.inf else budget,
+                    services=subproblem.num_services,
+                ) as span:
+                    result = algorithm.solve(subproblem.problem, time_limit=budget)
+                    span.set_tag("status", result.status)
+                    span.set_tag("objective", result.objective)
+                metrics.histogram("rasa.phase.solve.seconds").observe(
+                    watch.elapsed - solve_start
+                )
+                metrics.counter("rasa.subproblems.solved").inc()
+                reports.append(
+                    SubproblemReport(
+                        subproblem=subproblem,
+                        selected_algorithm=label,
+                        result=result,
+                    )
+                )
+                merge_start = watch.elapsed
+                with tracer.span("rasa.merge", services=subproblem.num_services):
+                    assignment = assignment.merge_subassignment(
+                        result.assignment,
+                        subproblem.service_names,
+                        subproblem.machine_names,
+                    )
+                metrics.histogram("rasa.phase.merge.seconds").observe(
+                    watch.elapsed - merge_start
+                )
+                self._extend_trajectory(
+                    trajectory, problem, assignment, result, solve_start
+                )
+                trajectory.append(
+                    (watch.elapsed, assignment.gained_affinity(normalized=True))
+                )
 
-        if self.config.repair_unplaced:
-            repaired = repair_unplaced(problem, assignment.x)
-            assignment = Assignment(problem, repaired)
-            trajectory.append((watch.elapsed, assignment.gained_affinity(normalized=True)))
+            if self.config.repair_unplaced:
+                with tracer.span("rasa.repair"):
+                    repaired = repair_unplaced(problem, assignment.x)
+                    assignment = Assignment(problem, repaired)
+                trajectory.append(
+                    (watch.elapsed, assignment.gained_affinity(normalized=True))
+                )
 
-        if self.config.local_search_seconds > 0:
-            from repro.solvers.local_search import LocalSearchImprover
+            if self.config.local_search_seconds > 0:
+                from repro.solvers.local_search import LocalSearchImprover
 
-            assignment = LocalSearchImprover().improve(
-                problem, assignment, time_limit=self.config.local_search_seconds
-            )
-            trajectory.append((watch.elapsed, assignment.gained_affinity(normalized=True)))
+                with tracer.span(
+                    "rasa.local_search", budget=self.config.local_search_seconds
+                ):
+                    assignment = LocalSearchImprover().improve(
+                        problem, assignment, time_limit=self.config.local_search_seconds
+                    )
+                trajectory.append(
+                    (watch.elapsed, assignment.gained_affinity(normalized=True))
+                )
 
+            gained = assignment.gained_affinity(normalized=True)
+            run_span.set_tag("gained_affinity", gained)
+            run_span.set_tag("subproblems_solved", len(reports))
+        metrics.gauge("rasa.gained_affinity").set(gained)
+        logger.info(
+            "schedule done %s",
+            kv(
+                gained=f"{gained:.4f}",
+                subproblems=len(reports),
+                runtime=f"{watch.elapsed:.2f}s",
+            ),
+        )
         return RASAResult(
             assignment=assignment,
-            gained_affinity=assignment.gained_affinity(normalized=True),
+            gained_affinity=gained,
             partition=partition,
             reports=reports,
             runtime_seconds=watch.elapsed,
             trajectory=trajectory,
+            metrics=metrics.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -169,8 +242,44 @@ class RASAScheduler:
             return MIPAlgorithm(backend=self.config.backend)
         return ColumnGenerationAlgorithm(backend=self.config.backend)
 
+    @staticmethod
+    def _extend_trajectory(
+        trajectory: list[tuple[float, float]],
+        problem: RASAProblem,
+        assignment: Assignment,
+        result: SolveResult,
+        solve_start: float,
+    ) -> None:
+        """Merge a subproblem's incumbent history into the run trajectory.
+
+        The solver trajectory is ``(elapsed_since_solver_start, objective)``
+        in the subproblem's unnormalized gained-affinity scale.  Each
+        incumbent is mapped to the overall curve by offsetting its timestamp
+        by the solve's start time and estimating the cluster-wide gained
+        affinity it would have produced: the merged value minus the part of
+        the final objective the incumbent had not yet reached.  Values are
+        clamped to keep the anytime curve monotone (an incumbent is only
+        adopted when it improves the merged placement).
+        """
+        total = problem.affinity.total_affinity
+        if total <= 0 or not result.trajectory:
+            return
+        merged_unnorm = assignment.gained_affinity()
+        floor = trajectory[-1][1] if trajectory else 0.0
+        for elapsed, objective in result.trajectory:
+            estimate = (merged_unnorm - max(0.0, result.objective - objective)) / total
+            value = min(1.0, max(floor, estimate))
+            trajectory.append((solve_start + max(0.0, elapsed), value))
+            floor = value
+
     def _budgets(self, subproblems: list[Subproblem], watch: Stopwatch) -> list[float]:
-        """Split the remaining budget proportionally to shard affinity."""
+        """Split the remaining budget proportionally to shard affinity.
+
+        Every shard is guaranteed ``min_subproblem_budget``; shares above
+        the floor are renormalized to the budget left after the floored
+        shards take theirs, so the summed budgets never overcommit the
+        overall limit (unless the floors alone already exceed it).
+        """
         if watch.time_limit is None:
             return [np.inf] * len(subproblems)
         remaining = watch.remaining or 0.0
@@ -178,7 +287,22 @@ class RASAScheduler:
         if weights.sum() == 0 or not subproblems:
             return [remaining] * len(subproblems)
         shares = weights / weights.sum()
-        return [
-            max(self.config.min_subproblem_budget, float(share * remaining))
-            for share in shares
-        ]
+        floor = self.config.min_subproblem_budget
+        budgets = np.full(len(subproblems), floor)
+        floored = np.zeros(len(subproblems), dtype=bool)
+        # Waterfilling: repeatedly pin shards whose renormalized share falls
+        # below the floor, re-splitting the leftover among the rest.
+        while not floored.all():
+            leftover = remaining - floor * floored.sum()
+            if leftover <= 0:
+                break
+            free = ~floored
+            scaled = shares[free] / shares[free].sum() * leftover
+            newly = scaled < floor
+            if newly.any():
+                index = np.nonzero(free)[0][newly]
+                floored[index] = True
+                continue
+            budgets[free] = scaled
+            break
+        return [float(b) for b in budgets]

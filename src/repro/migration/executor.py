@@ -20,6 +20,7 @@ from repro.core.problem import RASAProblem
 from repro.core.solution import RESOURCE_TOLERANCE, Assignment
 from repro.exceptions import MigrationError
 from repro.migration.plan import CommandAction, MigrationPlan
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass
@@ -78,44 +79,55 @@ class MigrationExecutor:
         min_alive = 1.0
         peak_over = 0.0
         alive_fractions: list[float] = []
+        tracer = get_tracer()
 
-        for step_index, step in enumerate(plan.steps):
-            for command in step:
-                s = problem.service_index(command.service)
-                m = problem.machine_index(command.machine)
-                if command.action is CommandAction.DELETE:
-                    if x[s, m] <= 0:
+        with tracer.span(
+            "migration.execute", steps=len(plan.steps), sla_floor=plan.sla_floor
+        ):
+            for step_index, step in enumerate(plan.steps):
+                with tracer.span(
+                    "migration.execute.step", index=step_index, commands=len(step)
+                ) as step_span:
+                    for command in step:
+                        s = problem.service_index(command.service)
+                        m = problem.machine_index(command.machine)
+                        if command.action is CommandAction.DELETE:
+                            if x[s, m] <= 0:
+                                raise MigrationError(
+                                    f"step {step_index}: delete of absent container "
+                                    f"{command.service} on {command.machine}"
+                                )
+                            x[s, m] -= 1
+                        else:
+                            x[s, m] += 1
+
+                    alive_counts = x.sum(axis=1)
+                    alive = alive_counts / demands
+                    step_min = float(alive.min()) if alive.size else 1.0
+                    alive_fractions.append(step_min)
+                    min_alive = min(min_alive, step_min)
+                    step_span.set_tag("min_alive_fraction", step_min)
+                    deficit = alive_floor - alive_counts
+                    if self.strict and (deficit > 0).any():
+                        worst = int(np.argmax(deficit))
                         raise MigrationError(
-                            f"step {step_index}: delete of absent container "
-                            f"{command.service} on {command.machine}"
+                            f"step {step_index}: service {problem.services[worst].name} "
+                            f"has {int(alive_counts[worst])} alive "
+                            f"(< floor {int(alive_floor[worst])} from the "
+                            f"{plan.sla_floor:.0%} SLA floor)"
                         )
-                    x[s, m] -= 1
-                else:
-                    x[s, m] += 1
 
-            alive_counts = x.sum(axis=1)
-            alive = alive_counts / demands
-            step_min = float(alive.min()) if alive.size else 1.0
-            alive_fractions.append(step_min)
-            min_alive = min(min_alive, step_min)
-            deficit = alive_floor - alive_counts
-            if self.strict and (deficit > 0).any():
-                worst = int(np.argmax(deficit))
-                raise MigrationError(
-                    f"step {step_index}: service {problem.services[worst].name} "
-                    f"has {int(alive_counts[worst])} alive "
-                    f"(< floor {int(alive_floor[worst])} from the "
-                    f"{plan.sla_floor:.0%} SLA floor)"
-                )
+                    usage = x.T.astype(float) @ requests
+                    over = float((usage - capacities).max())
+                    peak_over = max(peak_over, over)
+                    if self.strict and over > RESOURCE_TOLERANCE:
+                        raise MigrationError(
+                            f"step {step_index}: resource capacity exceeded by {over:.3f}"
+                        )
 
-            usage = x.T.astype(float) @ requests
-            over = float((usage - capacities).max())
-            peak_over = max(peak_over, over)
-            if self.strict and over > RESOURCE_TOLERANCE:
-                raise MigrationError(
-                    f"step {step_index}: resource capacity exceeded by {over:.3f}"
-                )
-
+        metrics = get_metrics()
+        metrics.gauge("migration.min_alive_fraction").set(min_alive)
+        metrics.gauge("migration.peak_overcommit").set(peak_over)
         return ExecutionTrace(
             final=Assignment(problem, x),
             min_alive_fraction=min_alive,

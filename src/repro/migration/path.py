@@ -21,6 +21,7 @@ from repro.core.problem import RASAProblem
 from repro.core.solution import Assignment
 from repro.exceptions import MigrationError
 from repro.migration.plan import Command, CommandAction, MigrationPlan
+from repro.obs import get_metrics, get_tracer
 
 #: Safety cap on path iterations (each iteration emits >= 1 command when
 #: progress is possible, so this bounds plans at ~2 * containers steps).
@@ -53,6 +54,9 @@ class MigrationPathBuilder:
             SLA floor or capacities) — the residual diff is then left to the
             cluster's default scheduler, matching the paper's tolerance.
         """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        metrics.gauge("migration.sla_floor").set(self.sla_floor)
         current = original.x.copy()
         goal = target.x
         demands = problem.demands
@@ -68,54 +72,65 @@ class MigrationPathBuilder:
         plan = MigrationPlan(sla_floor=self.sla_floor)
         moved = 0
 
-        for _ in range(MAX_ITERATIONS):
-            surplus = current - goal  # >0: delete here, <0: create here
-            if not (surplus > 0).any() and not (surplus < 0).any():
-                break
+        with tracer.span("migration.build", sla_floor=self.sla_floor) as build_span:
+            for batch in range(MAX_ITERATIONS):
+                surplus = current - goal  # >0: delete here, <0: create here
+                if not (surplus > 0).any() and not (surplus < 0).any():
+                    break
 
-            deletes = self._select_deletes(surplus, alive, alive_floor, demands, offline)
-            for service, machine in deletes:
-                current[service, machine] -= 1
-                alive[service] -= 1
-                offline[service] += 1
-                free[machine] += requests[service]
-            if deletes:
-                plan.steps.append(
-                    [
-                        Command(CommandAction.DELETE, problem.services[s].name,
-                                problem.machines[m].name)
-                        for s, m in deletes
-                    ]
-                )
+                with tracer.span("migration.batch", index=batch) as batch_span:
+                    deletes = self._select_deletes(
+                        surplus, alive, alive_floor, demands, offline
+                    )
+                    for service, machine in deletes:
+                        current[service, machine] -= 1
+                        alive[service] -= 1
+                        offline[service] += 1
+                        free[machine] += requests[service]
+                    if deletes:
+                        plan.steps.append(
+                            [
+                                Command(CommandAction.DELETE, problem.services[s].name,
+                                        problem.machines[m].name)
+                                for s, m in deletes
+                            ]
+                        )
 
-            surplus = current - goal
-            creates = self._select_creates(
-                problem, surplus, free, requests, demands, alive, offline
-            )
-            for service, machine in creates:
-                current[service, machine] += 1
-                alive[service] += 1
-                offline[service] = max(0, offline[service] - 1)
-                free[machine] -= requests[service]
-            if creates:
-                plan.steps.append(
-                    [
-                        Command(CommandAction.CREATE, problem.services[s].name,
-                                problem.machines[m].name)
-                        for s, m in creates
-                    ]
-                )
-                moved += len(creates)
+                    surplus = current - goal
+                    creates = self._select_creates(
+                        problem, surplus, free, requests, demands, alive, offline
+                    )
+                    for service, machine in creates:
+                        current[service, machine] += 1
+                        alive[service] += 1
+                        offline[service] = max(0, offline[service] - 1)
+                        free[machine] -= requests[service]
+                    if creates:
+                        plan.steps.append(
+                            [
+                                Command(CommandAction.CREATE, problem.services[s].name,
+                                        problem.machines[m].name)
+                                for s, m in creates
+                            ]
+                        )
+                        moved += len(creates)
+                    batch_span.set_tag("deletes", len(deletes))
+                    batch_span.set_tag("creates", len(creates))
 
-            if not deletes and not creates:
+                if not deletes and not creates:
+                    plan.complete = False
+                    break
+            else:  # pragma: no cover - MAX_ITERATIONS is far beyond real plans
+                raise MigrationError("migration path exceeded the iteration cap")
+
+            plan.moved_containers = moved
+            if plan.complete and not np.array_equal(current, goal):
                 plan.complete = False
-                break
-        else:  # pragma: no cover - MAX_ITERATIONS is far beyond real plans
-            raise MigrationError("migration path exceeded the iteration cap")
-
-        plan.moved_containers = moved
-        if plan.complete and not np.array_equal(current, goal):
-            plan.complete = False
+            build_span.set_tag("moved_containers", moved)
+            build_span.set_tag("steps", len(plan.steps))
+            build_span.set_tag("complete", plan.complete)
+        metrics.counter("migration.moved_containers").inc(moved)
+        metrics.histogram("migration.plan.steps").observe(len(plan.steps))
         return plan
 
     # ------------------------------------------------------------------

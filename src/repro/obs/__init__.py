@@ -1,0 +1,55 @@
+"""Observability layer: tracing spans, metrics, and structured logging.
+
+Three independent pieces with one import surface:
+
+* :mod:`repro.obs.spans` — hierarchical span tracer (Chrome trace-event
+  export, plain-text summary tree); the process default is a no-op
+  :class:`NullTracer`, enabled explicitly via :func:`set_tracer`.
+* :mod:`repro.obs.metrics` — always-on counters/gauges/histograms behind
+  a process-wide :class:`MetricsRegistry` with a JSON snapshot API.
+* :mod:`repro.obs.logging` — ``repro.*`` structured-logger convention.
+
+Naming convention (see DESIGN.md "Observability"): dotted lowercase
+``<layer>.<what>[.<unit>]`` — e.g. spans ``rasa.solve``,
+``partition.stage.master``, ``migration.batch``; metrics
+``solver.mip.nodes``, ``rasa.phase.solve.seconds``,
+``migration.sla_floor``.
+"""
+
+from repro.obs.logging import configure_logging, get_logger, kv
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.spans import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "kv",
+    "set_metrics",
+    "set_tracer",
+    "use_metrics",
+    "use_tracer",
+]

@@ -1,0 +1,81 @@
+"""Structured logging convention for the ``repro`` package.
+
+Every module logs under the ``repro.<subsystem>`` namespace obtained from
+:func:`get_logger`; handlers are attached only at the ``repro`` root by
+:func:`configure_logging`, so library use stays silent by default (the
+stdlib's last-resort handler only fires at WARNING and above) while the
+CLI's ``--log-level`` flag turns the whole tree on at once.
+
+Log lines follow one format::
+
+    2026-08-06 12:00:00 INFO repro.cluster.cronjob :: cycle=3 action=executed
+
+with ``key=value`` pairs for machine-readable fields.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, TextIO
+
+#: Root logger name for the whole package.
+PACKAGE_LOGGER = "repro"
+
+#: The one log-line format used across the package.
+LOG_FORMAT = "%(asctime)s %(levelname)s %(name)s :: %(message)s"
+
+#: Marker attribute identifying handlers installed by :func:`configure_logging`.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the package namespace.
+
+    Args:
+        name: Dotted suffix or full dotted name; ``None`` or ``"repro"``
+            returns the package root.  ``get_logger("cluster.cronjob")``
+            and ``get_logger("repro.cluster.cronjob")`` are equivalent.
+    """
+    if not name or name == PACKAGE_LOGGER:
+        return logging.getLogger(PACKAGE_LOGGER)
+    if not name.startswith(PACKAGE_LOGGER + "."):
+        name = f"{PACKAGE_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    stream: TextIO | None = None,
+    fmt: str = LOG_FORMAT,
+) -> logging.Logger:
+    """Attach (or replace) the package's stream handler at ``level``.
+
+    Idempotent: previously installed package handlers are removed first,
+    so repeated CLI invocations in one process do not stack handlers.
+
+    Args:
+        level: Logging level name or number for the package root.
+        stream: Destination stream; defaults to ``sys.stderr`` so log
+            lines never pollute machine-read stdout output.
+        fmt: Log-line format (defaults to the package convention).
+
+    Returns:
+        The configured ``repro`` root logger.
+    """
+    root = logging.getLogger(PACKAGE_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.setLevel(level if isinstance(level, int) else level.upper())
+    root.propagate = False
+    return root
+
+
+def kv(**fields: Any) -> str:
+    """Render ``key=value`` pairs in a stable order for log messages."""
+    return " ".join(f"{key}={value}" for key, value in fields.items())

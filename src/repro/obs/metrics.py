@@ -1,0 +1,180 @@
+"""Metrics registry: counters, gauges, and percentile histograms.
+
+The :class:`MetricsRegistry` is the pipeline's numeric flight recorder:
+solvers bump counters (MIP nodes explored, CG columns generated), the
+scheduler observes per-phase duration histograms, and the migration and
+CronJob layers set gauges.  A snapshot is a plain JSON-safe dict, carried
+on :class:`~repro.core.rasa.RASAResult` and
+:class:`~repro.cluster.cronjob.CycleReport` and exportable from the CLI
+via ``rasa optimize --metrics-out``.
+
+Unlike tracing (off by default), metrics are always on: every instrument
+is a couple of Python-level operations on the hot path, which is
+negligible next to the LP/MILP solves they count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterator
+from contextlib import contextmanager
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Sample distribution summarized as count/sum/min/max/p50/p95.
+
+    Samples are kept raw (runs are bounded, so memory stays small) and
+    percentiles are computed lazily at snapshot time.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(float(value))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) by nearest-rank; 0.0 if empty."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summarize(self) -> dict[str, float]:
+        """JSON-safe summary of the distribution."""
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0}
+        ordered = sorted(self.values)
+        n = len(ordered)
+        return {
+            "count": n,
+            "sum": float(sum(ordered)),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": ordered[min(n - 1, round(0.50 * (n - 1)))],
+            "p95": ordered[min(n - 1, round(0.95 * (n - 1)))],
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, name-addressed collection of instruments.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; values accumulate across pipeline runs until :meth:`reset`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter())
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge())
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram())
+        return histogram
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dump of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {k: v.value for k, v in sorted(self._counters.items())},
+                "gauges": {k: v.value for k, v in sorted(self._gauges.items())},
+                "histograms": {
+                    k: v.summarize() for k, v in sorted(self._histograms.items())
+                },
+            }
+
+    def export(self, path) -> None:
+        """Write :meth:`snapshot` as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=1)
+
+    def reset(self) -> None:
+        """Drop every instrument (fresh accounting for a new run)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide default registry
+# ----------------------------------------------------------------------
+_metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` globally; returns the previous one."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` (restores the previous on exit)."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.problem import Machine, RASAProblem
+from repro.obs import get_metrics, get_tracer
 from repro.partitioning.base import PartitionResult, Subproblem
 from repro.partitioning.stages import (
     balanced_partition,
@@ -226,6 +227,13 @@ def finish_partition(
     if total > 0:
         kept = sum(sp.total_affinity for sp in subproblems)
         retained = kept / total
+    metrics = get_metrics()
+    metrics.gauge("partition.shards").set(len(subproblems))
+    metrics.gauge("partition.affinity_retained").set(retained)
+    metrics.gauge("partition.trivial_services").set(len(trivial_services))
+    shard_sizes = metrics.histogram("partition.shard.services")
+    for sp in subproblems:
+        shard_sizes.observe(sp.num_services)
     return PartitionResult(
         subproblems=subproblems,
         trivial_services=list(trivial_services),
@@ -265,49 +273,66 @@ class MultiStagePartitioner:
 
     def partition(self, problem: RASAProblem) -> PartitionResult:
         """Run stages 1–4 and construct subproblems."""
+        tracer = get_tracer()
         watch = Stopwatch()
         stages: dict[str, float] = {}
         rng = np.random.default_rng(self.seed)
 
-        affinity_set, non_affinity_set = split_non_affinity(problem)
+        with tracer.span("partition.stage.non_affinity") as span:
+            affinity_set, non_affinity_set = split_non_affinity(problem)
+            span.set_tag("affinity_services", len(affinity_set))
+            span.set_tag("non_affinity_services", len(non_affinity_set))
         stages["non_affinity"] = watch.elapsed
 
-        masters, non_masters = split_master(problem, affinity_set, self.master_ratio)
+        with tracer.span("partition.stage.master") as span:
+            masters, non_masters = split_master(
+                problem, affinity_set, self.master_ratio
+            )
+            span.set_tag("masters", len(masters))
         stages["master"] = watch.elapsed
 
-        blocks = split_compatibility(problem, masters)
+        with tracer.span("partition.stage.compatibility") as span:
+            blocks = split_compatibility(problem, masters)
+            span.set_tag("blocks", len(blocks))
         stages["compatibility"] = watch.elapsed
 
-        crucial_sets: list[list[str]] = []
-        for block in blocks:
-            if len(block) <= self.max_subproblem_services:
-                crucial_sets.append(block)
-                continue
-            # Loss-minimization happens at affinity-component granularity:
-            # whole components are packed together (zero loss); only
-            # oversized components pay the BFS-sampled balanced cut.
-            graph = problem.affinity.induced_subgraph(block)
-            components = _affinity_components(graph, block)
-            pieces: list[list[str]] = []
-            for component in components:
-                if len(component) <= self.max_subproblem_services:
-                    pieces.append(component)
+        with tracer.span("partition.stage.balanced") as span:
+            crucial_sets: list[list[str]] = []
+            for block in blocks:
+                if len(block) <= self.max_subproblem_services:
+                    crucial_sets.append(block)
                     continue
-                num_parts = int(np.ceil(len(component) / self.max_subproblem_services))
-                pieces.extend(
-                    balanced_partition(
-                        graph,
-                        component,
-                        num_parts,
-                        rng,
-                        max_samples=self.max_samples,
+                # Loss-minimization happens at affinity-component granularity:
+                # whole components are packed together (zero loss); only
+                # oversized components pay the BFS-sampled balanced cut.
+                graph = problem.affinity.induced_subgraph(block)
+                components = _affinity_components(graph, block)
+                pieces: list[list[str]] = []
+                for component in components:
+                    if len(component) <= self.max_subproblem_services:
+                        pieces.append(component)
+                        continue
+                    num_parts = int(
+                        np.ceil(len(component) / self.max_subproblem_services)
                     )
+                    pieces.extend(
+                        balanced_partition(
+                            graph,
+                            component,
+                            num_parts,
+                            rng,
+                            max_samples=self.max_samples,
+                        )
+                    )
+                crucial_sets.extend(
+                    pack_components(pieces, self.max_subproblem_services)
                 )
-            crucial_sets.extend(pack_components(pieces, self.max_subproblem_services))
+            span.set_tag("crucial_sets", len(crucial_sets))
         stages["balanced"] = watch.elapsed
 
         trivial = non_affinity_set + non_masters
-        return finish_partition(problem, crucial_sets, trivial, watch, stages)
+        with tracer.span("partition.stage.construct"):
+            return finish_partition(problem, crucial_sets, trivial, watch, stages)
 
 
 class NoPartitioner:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.obs import get_metrics, get_tracer
 from repro.solvers.lp import LinearModel, solve_lp
 
 #: Tolerance under which a fractional value is accepted as integral.
@@ -124,6 +125,7 @@ class BranchAndBoundSolver:
             A :class:`MILPResult` with the best solution found.
         """
         start = time.monotonic()
+        tracer = get_tracer()
         int_mask = model.integrality
         counter = itertools.count()
 
@@ -131,12 +133,21 @@ class BranchAndBoundSolver:
         best_obj = np.inf
         incumbents: list[IncumbentRecord] = []
 
+        def record_incumbent(objective: float) -> None:
+            record = IncumbentRecord(time.monotonic() - start, objective)
+            incumbents.append(record)
+            tracer.event(
+                "bnb.incumbent",
+                elapsed=record.elapsed_seconds,
+                objective=objective,
+            )
+
         if warm_start is not None:
             warm = np.asarray(warm_start, dtype=float)
             if warm.shape == (model.num_variables,) and self._is_integral(warm, int_mask):
                 best_x = warm.copy()
                 best_obj = float(model.c @ warm)
-                incumbents.append(IncumbentRecord(0.0, best_obj))
+                record_incumbent(best_obj)
 
         root = solve_lp(model)
         if root.status == "infeasible":
@@ -179,9 +190,7 @@ class BranchAndBoundSolver:
                     if obj < best_obj - 1e-12:
                         best_obj = obj
                         best_x = candidate
-                        incumbents.append(
-                            IncumbentRecord(time.monotonic() - start, obj)
-                        )
+                        record_incumbent(obj)
 
             frac_index = self._most_fractional(relax.x, int_mask)
             if frac_index is None:
@@ -191,7 +200,7 @@ class BranchAndBoundSolver:
                 if obj < best_obj - 1e-12:
                     best_obj = obj
                     best_x = candidate
-                    incumbents.append(IncumbentRecord(time.monotonic() - start, obj))
+                    record_incumbent(obj)
                 continue
 
             value = relax.x[frac_index]
@@ -218,6 +227,7 @@ class BranchAndBoundSolver:
         else:
             global_bound = best_obj if best_x is not None else global_bound
 
+        get_metrics().counter("solver.bnb.nodes").inc(nodes)
         if best_x is None:
             status = "infeasible" if not heap and nodes > 0 else "no_incumbent"
             return MILPResult(

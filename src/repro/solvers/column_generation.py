@@ -21,6 +21,7 @@ from scipy import sparse
 
 from repro.core.problem import RASAProblem
 from repro.core.solution import Assignment
+from repro.obs import get_metrics, get_tracer
 from repro.solvers.base import SolveResult, Stopwatch
 from repro.solvers.greedy import GreedyAlgorithm, repair_unplaced
 from repro.solvers.lp import LinearModel, solve_lp
@@ -73,6 +74,9 @@ class ColumnGenerationAlgorithm:
     def solve(self, problem: RASAProblem, time_limit: float | None = None) -> SolveResult:
         """Run Algorithm 1 and return the best integral placement found."""
         watch = Stopwatch(time_limit)
+        metrics = get_metrics()
+        tracer = get_tracer()
+        metrics.counter("solver.cg.solves").inc()
         trajectory: list[tuple[float, float]] = []
 
         groups = group_machines(problem)
@@ -90,49 +94,63 @@ class ColumnGenerationAlgorithm:
         if time_limit is not None:
             cg_budget = time_limit * (1.0 - self.rounding_fraction)
 
-        for _iteration in range(self.max_iterations):
+        iterations = 0
+        columns_added = 0
+        for iteration in range(self.max_iterations):
             if cg_budget is not None and watch.elapsed >= cg_budget:
                 break
-            master = _build_master(problem, groups, columns)
-            lp = solve_lp(master.model)
-            if not lp.is_optimal or lp.duals_ub is None:
-                break
-            # scipy reports marginals of a minimization; negate to obtain the
-            # conventional non-negative Lagrange multipliers.
-            lam = -lp.duals_ub
-            coverage_duals = lam[: problem.num_services]
-            convexity_duals = lam[problem.num_services :]
-
-            added = False
-            for g, group in enumerate(groups):
-                if cg_budget is not None and watch.elapsed >= cg_budget:
+            with tracer.span("cg.iteration", index=iteration) as span:
+                iterations += 1
+                master = _build_master(problem, groups, columns)
+                lp = solve_lp(master.model)
+                if not lp.is_optimal or lp.duals_ub is None:
                     break
-                pattern = self._price(problem, group, coverage_duals)
-                if pattern is None:
-                    continue
-                reduced = pattern.value - float(coverage_duals @ pattern.counts)
-                if reduced <= convexity_duals[g] + REDUCED_COST_TOLERANCE:
-                    continue
-                key = (g, pattern.key())
-                if key in seen:
-                    continue
-                seen.add(key)
-                columns[g].append(pattern)
-                added = True
-            if not added:
-                break
+                # scipy reports marginals of a minimization; negate to obtain
+                # the conventional non-negative Lagrange multipliers.
+                lam = -lp.duals_ub
+                coverage_duals = lam[: problem.num_services]
+                convexity_duals = lam[problem.num_services :]
+
+                added = 0
+                for g, group in enumerate(groups):
+                    if cg_budget is not None and watch.elapsed >= cg_budget:
+                        break
+                    pattern = self._price(problem, group, coverage_duals)
+                    if pattern is None:
+                        continue
+                    reduced = pattern.value - float(coverage_duals @ pattern.counts)
+                    if reduced <= convexity_duals[g] + REDUCED_COST_TOLERANCE:
+                        continue
+                    key = (g, pattern.key())
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    columns[g].append(pattern)
+                    added += 1
+                columns_added += added
+                span.set_tag("columns_added", added)
+                if not added:
+                    break
+        metrics.counter("solver.cg.iterations").inc(iterations)
+        metrics.counter("solver.cg.columns").inc(columns_added)
 
         rounding_limit = watch.remaining
-        rounded = _round_master(
-            problem, groups, columns, backend=self.backend, time_limit=rounding_limit
-        )
+        with tracer.span("cg.rounding"):
+            rounded = _round_master(
+                problem, groups, columns, backend=self.backend,
+                time_limit=rounding_limit,
+            )
         if rounded is not None:
             repaired = repair_unplaced(problem, rounded)
             candidate = Assignment(problem, repaired)
             candidate_obj = candidate.gained_affinity()
             if candidate_obj > incumbent_obj:
                 incumbent, incumbent_obj = candidate, candidate_obj
+                tracer.event(
+                    "cg.incumbent", elapsed=watch.elapsed, objective=incumbent_obj
+                )
         trajectory.append((watch.elapsed, incumbent_obj))
+        metrics.histogram("solver.cg.seconds").observe(watch.elapsed)
 
         return SolveResult(
             assignment=incumbent,

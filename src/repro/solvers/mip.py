@@ -20,6 +20,7 @@ from scipy import sparse
 
 from repro.core.problem import RASAProblem
 from repro.core.solution import Assignment
+from repro.obs import get_metrics, get_tracer
 from repro.solvers.base import SolveResult, Stopwatch
 from repro.solvers.branch_and_bound import MILPResult
 from repro.solvers.lp import LinearModel
@@ -53,7 +54,11 @@ class MIPAlgorithm:
         by the cluster's default scheduler.
         """
         watch = Stopwatch(time_limit)
+        metrics = get_metrics()
+        tracer = get_tracer()
+        metrics.counter("solver.mip.solves").inc()
         model, layout = build_rasa_model(problem)
+        metrics.histogram("solver.mip.variables").observe(layout.num_variables)
         if layout.num_variables == 0:
             # Nothing is schedulable anywhere: return the empty placement.
             empty = Assignment.empty(problem)
@@ -70,6 +75,13 @@ class MIPAlgorithm:
             backend=self.backend,
             gap_tolerance=self.gap_tolerance,
         )
+        metrics.counter("solver.mip.nodes").inc(milp_result.nodes_explored)
+        for record in milp_result.incumbents:
+            tracer.event(
+                "mip.incumbent",
+                elapsed=record.elapsed_seconds,
+                objective=-record.objective,
+            )
         assignment = extract_assignment(problem, layout, milp_result)
         objective = assignment.gained_affinity()
         status = milp_result.status
@@ -82,6 +94,7 @@ class MIPAlgorithm:
             assignment = greedy.assignment
             objective = greedy.objective
             status = f"{status}+greedy"
+        metrics.histogram("solver.mip.seconds").observe(watch.elapsed)
         return SolveResult(
             assignment=assignment,
             algorithm=self.name,
