@@ -5,7 +5,8 @@ Subcommands mirror the workflows a cluster operator needs:
 * ``rasa generate`` — synthesize a cluster trace (or dump a registered
   dataset) to a JSON trace file.
 * ``rasa optimize`` — load a trace, run the RASA pipeline, print the
-  placement summary and (optionally) the migration plan.
+  placement summary and (optionally) the migration plan.  ``--workers N``
+  / ``--parallel`` solve independent subproblems in a process pool.
 * ``rasa compare`` — run every baseline plus RASA on a trace.
 * ``rasa inspect`` — placement metrics and skew profile of a trace.
 
@@ -24,7 +25,7 @@ import sys
 from typing import Callable
 
 from repro.analysis import pair_localization_table, placement_metrics
-from repro.core import Assignment, RASAScheduler
+from repro.core import Assignment, RASAConfig, RASAScheduler
 from repro.migration import MigrationPathBuilder
 from repro.obs import Tracer, configure_logging, get_logger, get_metrics, set_tracer
 from repro.workloads import ClusterSpec, generate_cluster, load_cluster
@@ -43,6 +44,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="suppress the plain-text stdout report (log lines still emitted)",
     )
+
+
+def _add_parallel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solve independent subproblems in N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="enable parallel subproblem solving; without --workers, uses all CPUs",
+    )
+
+
+def _scheduler_config(args: argparse.Namespace) -> RASAConfig:
+    """Build the scheduler config from the parallelism CLI flags."""
+    config = RASAConfig()
+    if getattr(args, "workers", None) is not None:
+        if args.workers < 1:
+            raise SystemExit("error: --workers must be >= 1")
+        config.workers = args.workers
+    if getattr(args, "parallel", False):
+        config.parallel = True
+    return config
 
 
 def _add_generate(subparsers) -> None:
@@ -78,6 +106,7 @@ def _add_optimize(subparsers) -> None:
         "--metrics-out",
         help="write the metrics-registry snapshot as JSON",
     )
+    _add_parallel(parser)
     _add_common(parser)
 
 
@@ -87,6 +116,7 @@ def _add_compare(subparsers) -> None:
     )
     parser.add_argument("trace", help="JSON trace file")
     parser.add_argument("--time-limit", type=float, default=10.0)
+    _add_parallel(parser)
     _add_common(parser)
 
 
@@ -160,7 +190,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
     previous = set_tracer(tracer) if tracer is not None else None
     try:
-        result = RASAScheduler().schedule(problem, time_limit=args.time_limit)
+        scheduler = RASAScheduler(config=_scheduler_config(args))
+        result = scheduler.schedule(problem, time_limit=args.time_limit)
     finally:
         if tracer is not None:
             set_tracer(previous)
@@ -222,7 +253,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{algorithm.name:12s} {result.objective / total:>8.3f} "
             f"{result.runtime_seconds:>8.1f}s"
         )
-    result = RASAScheduler().schedule(problem, time_limit=args.time_limit)
+    scheduler = RASAScheduler(config=_scheduler_config(args))
+    result = scheduler.schedule(problem, time_limit=args.time_limit)
     out(f"{'rasa':12s} {result.gained_affinity:>8.3f} "
         f"{result.runtime_seconds:>8.1f}s")
     return 0

@@ -72,6 +72,12 @@ class CronJobController:
         improvement_gate: Minimum relative improvement to execute.
         rollback_imbalance: Utilization-std threshold that triggers rollback;
             None disables the guard.
+        workers: When set, overrides the RASA scheduler's worker count so
+            each cycle's solve phase runs in a process pool (see
+            :mod:`repro.core.parallel`).  None leaves the scheduler's own
+            configuration untouched.
+        parallel: When set, overrides the scheduler's tri-state parallel
+            switch the same way.
         history: Reports of every cycle run so far.
     """
 
@@ -84,7 +90,15 @@ class CronJobController:
     improvement_gate: float = IMPROVEMENT_GATE
     rollback_imbalance: float | None = None
     sla_floor: float = 0.75
+    workers: int | None = None
+    parallel: bool | None = None
     history: list[CycleReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            self.rasa.config.workers = self.workers
+        if self.parallel is not None:
+            self.rasa.config.parallel = self.parallel
 
     # ------------------------------------------------------------------
     def run_once(self) -> CycleReport:

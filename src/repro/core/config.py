@@ -25,6 +25,20 @@ class RASAConfig:
             the merged placement (0 disables it).  An extension beyond the
             paper's pipeline; see DESIGN.md ablations.
         seed: Seed for partitioning randomness.
+        workers: Worker processes for the solve phase.  1 (the default)
+            keeps the fully sequential pipeline; ``N > 1`` dispatches
+            independent subproblems to a process pool (see
+            :mod:`repro.core.parallel`) while preserving the deterministic
+            affinity-descending merge order.
+        parallel: Tri-state parallelism switch: None (auto) parallelizes
+            iff ``workers > 1``; True forces parallel mode, defaulting
+            ``workers`` to the CPU count when left at 1; False forces
+            sequential mode regardless of ``workers``.
+        worker_timeout_factor: Multiplier on a task's solver budget used
+            for its wall-clock deadline in parallel mode (hung-worker
+            backstop; see :class:`~repro.core.parallel.ParallelDispatcher`).
+        worker_timeout_margin: Constant slack (seconds) added to every
+            parallel task deadline.
     """
 
     master_ratio: float | None = None
@@ -35,3 +49,7 @@ class RASAConfig:
     repair_unplaced: bool = True
     local_search_seconds: float = 0.0
     seed: int = 0
+    workers: int = 1
+    parallel: bool | None = None
+    worker_timeout_factor: float = 2.0
+    worker_timeout_margin: float = 5.0

@@ -5,15 +5,36 @@ multi-stage partitioner, an algorithm selector, and the scheduling algorithm
 pool into the full three-phase pipeline, returning the merged cluster-wide
 assignment together with per-subproblem diagnostics and an anytime
 quality-over-time trajectory (used by the Fig. 10 benchmark).
+
+The solve phase runs in one of two modes:
+
+* **sequential** (default, ``workers=1``) — subproblems are solved one at
+  a time in affinity-descending order; when a shard finishes under its
+  proportional budget, the unspent time is redistributed across the
+  still-queued shards.
+* **parallel** (``workers>1`` or ``parallel=True``) — independent
+  subproblems are dispatched to a process pool
+  (:mod:`repro.core.parallel`); results are merged in the same fixed
+  affinity-descending order regardless of completion order, and failed or
+  timed-out workers fall back to an in-process sequential retry, so
+  parallelism never loses shards or reorders the merge.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import RASAConfig
+from repro.core.parallel import (
+    DefaultAlgorithmFactory,
+    ParallelDispatcher,
+    SubproblemTask,
+    TaskOutcome,
+    select_and_solve,
+)
 from repro.core.problem import RASAProblem
 from repro.core.solution import Assignment
 from repro.obs import get_logger, get_metrics, get_tracer, kv
@@ -21,9 +42,7 @@ from repro.partitioning.base import PartitionResult, Partitioner, Subproblem
 from repro.partitioning.multistage import MultiStagePartitioner
 from repro.selection.selector import AlgorithmSelector, HeuristicSelector
 from repro.solvers.base import SolveResult, Stopwatch
-from repro.solvers.column_generation import ColumnGenerationAlgorithm
 from repro.solvers.greedy import repair_unplaced
-from repro.solvers.mip import MIPAlgorithm
 
 
 @dataclass
@@ -43,13 +62,16 @@ class RASAResult:
         assignment: The merged cluster-wide placement.
         gained_affinity: Normalized overall gained affinity in ``[0, 1]``.
         partition: The partitioning phase's output.
-        reports: Per-subproblem algorithm choices and solve results.
+        reports: Per-subproblem algorithm choices and solve results, in
+            merge (affinity-descending) order — identical between the
+            sequential and parallel modes.
         runtime_seconds: Total wall-clock time.
         trajectory: Cumulative ``(elapsed_seconds, normalized_gained)``
             points — RASA is an anytime algorithm (halting mid-run returns
             the current best).  Each subproblem solve contributes its full
             incumbent history (offset by the solve's start time), restoring
-            the paper's Fig. 10 anytime-curve resolution.
+            the paper's Fig. 10 anytime-curve resolution.  Timestamps are
+            non-decreasing even when parallel workers finish out of order.
         metrics: Snapshot of the process metrics registry taken when the
             run finished (solver counters, per-phase duration histograms).
     """
@@ -63,6 +85,21 @@ class RASAResult:
     metrics: dict = field(default_factory=dict)
 
 
+def _append_point(
+    trajectory: list[tuple[float, float]], elapsed: float, value: float
+) -> None:
+    """Append a trajectory point, keeping timestamps non-decreasing.
+
+    Parallel workers start at overlapping wall-clock offsets, so mapping
+    their incumbent histories into the merge order can step backwards in
+    time; clamping to the previous timestamp keeps the anytime curve a
+    valid function of elapsed time.
+    """
+    if trajectory:
+        elapsed = max(elapsed, trajectory[-1][0])
+    trajectory.append((elapsed, value))
+
+
 class RASAScheduler:
     """Three-phase RASA pipeline over a pluggable partitioner and selector.
 
@@ -72,7 +109,8 @@ class RASAScheduler:
             multi-stage partitioner configured from ``config``.
         selector: Algorithm selector; defaults to the heuristic rule (train
             and pass a :class:`~repro.selection.selector.GCNSelector` for
-            the paper's full configuration).
+            the paper's full configuration).  Must be picklable when
+            parallel mode is enabled.
     """
 
     def __init__(
@@ -127,78 +165,33 @@ class RASAScheduler:
             assignment = Assignment(problem, merged)
             trajectory = [(watch.elapsed, assignment.gained_affinity(normalized=True))]
 
-            budgets = self._budgets(partition.subproblems, watch)
             reports: list[SubproblemReport] = []
             # Solve high-affinity shards first so early stopping keeps the
-            # most valuable improvements.
+            # most valuable improvements; parallel mode merges in this
+            # same order, so both modes produce identical results.
             order = sorted(
                 range(len(partition.subproblems)),
                 key=lambda i: -partition.subproblems[i].total_affinity,
             )
-            for i in order:
-                subproblem = partition.subproblems[i]
-                if watch.expired:
-                    break
-                select_start = watch.elapsed
-                with tracer.span(
-                    "rasa.select", services=subproblem.num_services
-                ) as span:
-                    label = self.selector.select(subproblem)
-                    span.set_tag("algorithm", label)
-                metrics.histogram("rasa.phase.select.seconds").observe(
-                    watch.elapsed - select_start
+            workers = self._effective_workers()
+            if workers > 1 and len(order) > 1:
+                run_span.set_tag("workers", workers)
+                assignment = self._solve_parallel(
+                    problem, partition, order, assignment, trajectory,
+                    reports, watch, workers, run_span,
                 )
-                algorithm = self._algorithm(label)
-                budget = budgets[i]
-                remaining = watch.remaining
-                if remaining is not None:
-                    budget = max(
-                        self.config.min_subproblem_budget, min(budget, remaining)
-                    )
-                solve_start = watch.elapsed
-                with tracer.span(
-                    "rasa.solve",
-                    algorithm=label,
-                    budget=None if budget == np.inf else budget,
-                    services=subproblem.num_services,
-                ) as span:
-                    result = algorithm.solve(subproblem.problem, time_limit=budget)
-                    span.set_tag("status", result.status)
-                    span.set_tag("objective", result.objective)
-                metrics.histogram("rasa.phase.solve.seconds").observe(
-                    watch.elapsed - solve_start
-                )
-                metrics.counter("rasa.subproblems.solved").inc()
-                reports.append(
-                    SubproblemReport(
-                        subproblem=subproblem,
-                        selected_algorithm=label,
-                        result=result,
-                    )
-                )
-                merge_start = watch.elapsed
-                with tracer.span("rasa.merge", services=subproblem.num_services):
-                    assignment = assignment.merge_subassignment(
-                        result.assignment,
-                        subproblem.service_names,
-                        subproblem.machine_names,
-                    )
-                metrics.histogram("rasa.phase.merge.seconds").observe(
-                    watch.elapsed - merge_start
-                )
-                self._extend_trajectory(
-                    trajectory, problem, assignment, result, solve_start
-                )
-                trajectory.append(
-                    (watch.elapsed, assignment.gained_affinity(normalized=True))
+            else:
+                assignment = self._solve_sequential(
+                    problem, partition, order, assignment, trajectory,
+                    reports, watch,
                 )
 
             if self.config.repair_unplaced:
                 with tracer.span("rasa.repair"):
                     repaired = repair_unplaced(problem, assignment.x)
                     assignment = Assignment(problem, repaired)
-                trajectory.append(
-                    (watch.elapsed, assignment.gained_affinity(normalized=True))
+                _append_point(
+                    trajectory, watch.elapsed, assignment.gained_affinity(normalized=True)
                 )
 
             if self.config.local_search_seconds > 0:
@@ -210,8 +203,8 @@ class RASAScheduler:
                     assignment = LocalSearchImprover().improve(
                         problem, assignment, time_limit=self.config.local_search_seconds
                     )
-                trajectory.append(
-                    (watch.elapsed, assignment.gained_affinity(normalized=True))
+                _append_point(
+                    trajectory, watch.elapsed, assignment.gained_affinity(normalized=True)
                 )
 
             gained = assignment.gained_affinity(normalized=True)
@@ -224,6 +217,7 @@ class RASAScheduler:
                 gained=f"{gained:.4f}",
                 subproblems=len(reports),
                 runtime=f"{watch.elapsed:.2f}s",
+                workers=workers,
             ),
         )
         return RASAResult(
@@ -237,10 +231,217 @@ class RASAScheduler:
         )
 
     # ------------------------------------------------------------------
+    # Solve phase: sequential mode
+    # ------------------------------------------------------------------
+    def _solve_sequential(
+        self,
+        problem: RASAProblem,
+        partition: PartitionResult,
+        order: list[int],
+        assignment: Assignment,
+        trajectory: list[tuple[float, float]],
+        reports: list[SubproblemReport],
+        watch: Stopwatch,
+    ) -> Assignment:
+        """Solve shards one at a time in affinity-descending order."""
+        factory = DefaultAlgorithmFactory(self.config.backend)
+        for position, i in enumerate(order):
+            if watch.expired:
+                break
+            subproblem = partition.subproblems[i]
+            pending = [partition.subproblems[j] for j in order[position:]]
+            budget = self._next_budget(pending, watch)
+            solve_start = watch.elapsed
+            label, result = select_and_solve(
+                subproblem, self.selector, factory, budget
+            )
+            reports.append(
+                SubproblemReport(
+                    subproblem=subproblem,
+                    selected_algorithm=label,
+                    result=result,
+                )
+            )
+            assignment = self._merge_result(
+                problem, assignment, subproblem, result, trajectory,
+                solve_start, watch,
+            )
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Solve phase: parallel mode
+    # ------------------------------------------------------------------
+    def _solve_parallel(
+        self,
+        problem: RASAProblem,
+        partition: PartitionResult,
+        order: list[int],
+        assignment: Assignment,
+        trajectory: list[tuple[float, float]],
+        reports: list[SubproblemReport],
+        watch: Stopwatch,
+        workers: int,
+        run_span,
+    ) -> Assignment:
+        """Dispatch shards to a process pool, then merge deterministically.
+
+        Failed, crashed, or timed-out tasks are retried sequentially
+        in-process with the remaining time redistributed across them, so
+        one bad shard never loses the other shards' results.
+        """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        logger = get_logger("core.rasa")
+        subproblems = partition.subproblems
+        factory = DefaultAlgorithmFactory(self.config.backend)
+
+        budgets = self._budgets([subproblems[i] for i in order], watch)
+        remaining = watch.remaining
+        tasks = []
+        for position, i in enumerate(order):
+            budget = budgets[position]
+            if remaining is not None:
+                budget = max(
+                    self.config.min_subproblem_budget, min(budget, remaining)
+                )
+            tasks.append(
+                SubproblemTask(
+                    index=i,
+                    subproblem=subproblems[i],
+                    selector=self.selector,
+                    algorithm_factory=factory,
+                    budget=budget,
+                    collect_spans=tracer.enabled,
+                )
+            )
+        dispatcher = ParallelDispatcher(
+            workers=workers,
+            timeout_factor=self.config.worker_timeout_factor,
+            timeout_margin=self.config.worker_timeout_margin,
+        )
+        with tracer.span("rasa.dispatch", workers=workers, tasks=len(tasks)):
+            outcomes = dispatcher.run(tasks)
+
+        # Rebuild worker results, folding their obs payloads into the
+        # parent tracer/metrics so exports stay complete.
+        solved: dict[int, tuple[str, SolveResult, float]] = {}
+        for i in order:
+            outcome = outcomes.get(i)
+            if not isinstance(outcome, TaskOutcome):
+                continue
+            offset = max(0.0, outcome.started_monotonic - watch.start_monotonic)
+            if tracer.enabled:
+                tracer.adopt(outcome.spans, offset=run_span.start + offset)
+            metrics.merge(outcome.metrics)
+            solved[i] = (
+                outcome.label,
+                outcome.to_solve_result(subproblems[i].problem),
+                offset,
+            )
+
+        # Sequential-retry fallback, with leftover time redistributed
+        # across the failed shards only.
+        failed = [i for i in order if i not in solved]
+        for position, i in enumerate(failed):
+            if watch.expired:
+                break
+            failure = outcomes.get(i)
+            logger.warning(
+                "sequential retry %s",
+                kv(
+                    subproblem=i,
+                    kind=getattr(failure, "kind", "missing"),
+                    error=getattr(failure, "error", ""),
+                ),
+            )
+            metrics.counter("rasa.parallel.retries").inc()
+            pending = [subproblems[j] for j in failed[position:]]
+            budget = self._next_budget(pending, watch)
+            solve_start = watch.elapsed
+            label, result = select_and_solve(
+                subproblems[i], self.selector, factory, budget
+            )
+            solved[i] = (label, result, solve_start)
+
+        # Deterministic merge: fixed affinity-descending order, regardless
+        # of which worker finished first.
+        for i in order:
+            if i not in solved:
+                continue
+            subproblem = subproblems[i]
+            label, result, solve_start = solved[i]
+            reports.append(
+                SubproblemReport(
+                    subproblem=subproblem,
+                    selected_algorithm=label,
+                    result=result,
+                )
+            )
+            assignment = self._merge_result(
+                problem, assignment, subproblem, result, trajectory,
+                solve_start, watch,
+            )
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _merge_result(
+        self,
+        problem: RASAProblem,
+        assignment: Assignment,
+        subproblem: Subproblem,
+        result: SolveResult,
+        trajectory: list[tuple[float, float]],
+        solve_start: float,
+        watch: Stopwatch,
+    ) -> Assignment:
+        """Overlay one shard's solution and extend the anytime trajectory."""
+        tracer = get_tracer()
+        metrics = get_metrics()
+        merge_start = watch.elapsed
+        with tracer.span("rasa.merge", services=subproblem.num_services):
+            assignment = assignment.merge_subassignment(
+                result.assignment,
+                subproblem.service_names,
+                subproblem.machine_names,
+            )
+        metrics.histogram("rasa.phase.merge.seconds").observe(
+            watch.elapsed - merge_start
+        )
+        self._extend_trajectory(trajectory, problem, assignment, result, solve_start)
+        _append_point(
+            trajectory, watch.elapsed, assignment.gained_affinity(normalized=True)
+        )
+        return assignment
+
+    def _effective_workers(self) -> int:
+        """Resolve the ``workers``/``parallel`` pair into a worker count."""
+        config = self.config
+        if config.parallel is False:
+            return 1
+        workers = config.workers
+        if config.parallel and workers <= 1:
+            workers = os.cpu_count() or 1
+        return max(1, workers)
+
+    def _next_budget(self, pending: list[Subproblem], watch: Stopwatch) -> float:
+        """Budget for the first of the still-queued shards.
+
+        Recomputing the affinity-proportional waterfilling split over the
+        *remaining* shards each time redistributes time that earlier
+        shards left unspent (and absorbs any overrun) instead of pinning
+        every shard to the split computed up front.
+        """
+        budget = self._budgets(pending, watch)[0]
+        remaining = watch.remaining
+        if remaining is not None:
+            budget = max(self.config.min_subproblem_budget, min(budget, remaining))
+        return budget
+
     def _algorithm(self, label: str):
-        if label == "mip":
-            return MIPAlgorithm(backend=self.config.backend)
-        return ColumnGenerationAlgorithm(backend=self.config.backend)
+        """Label → algorithm instance (kept for API compatibility)."""
+        return DefaultAlgorithmFactory(self.config.backend)(label)
 
     @staticmethod
     def _extend_trajectory(
@@ -269,7 +470,7 @@ class RASAScheduler:
         for elapsed, objective in result.trajectory:
             estimate = (merged_unnorm - max(0.0, result.objective - objective)) / total
             value = min(1.0, max(floor, estimate))
-            trajectory.append((solve_start + max(0.0, elapsed), value))
+            _append_point(trajectory, solve_start + max(0.0, elapsed), value)
             floor = value
 
     def _budgets(self, subproblems: list[Subproblem], watch: Stopwatch) -> list[float]:

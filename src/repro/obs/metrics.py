@@ -143,6 +143,40 @@ class MetricsRegistry:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.snapshot(), handle, indent=1)
 
+    # ------------------------------------------------------------------
+    # Cross-process transfer (parallel subproblem workers)
+    # ------------------------------------------------------------------
+    def dump_raw(self) -> dict[str, Any]:
+        """Lossless dump for merging into another registry.
+
+        Unlike :meth:`snapshot`, histograms keep their raw sample lists so
+        a receiving registry can fold them in and still compute exact
+        percentiles.  This is the payload parallel subproblem workers send
+        back to the parent process.
+        """
+        with self._lock:
+            return {
+                "counters": {k: v.value for k, v in self._counters.items()},
+                "gauges": {k: v.value for k, v in self._gauges.items()},
+                "histograms": {k: list(v.values) for k, v in self._histograms.items()},
+            }
+
+    def merge(self, raw: dict[str, Any]) -> None:
+        """Fold a :meth:`dump_raw` payload into this registry.
+
+        Counters accumulate, gauges take the incoming value (last writer
+        wins, matching :meth:`Gauge.set` semantics), histogram samples are
+        appended.
+        """
+        for name, value in raw.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in raw.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in raw.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+
     def reset(self) -> None:
         """Drop every instrument (fresh accounting for a new run)."""
         with self._lock:

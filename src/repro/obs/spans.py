@@ -116,6 +116,9 @@ class NullTracer:
         """No spans are ever recorded."""
         return []
 
+    def adopt(self, spans: list[Span], offset: float = 0.0) -> None:
+        """Discard foreign spans (tracing is disabled)."""
+
 
 class Tracer:
     """Thread-safe hierarchical span recorder.
@@ -189,6 +192,24 @@ class Tracer:
         """Snapshot of the closed top-level spans recorded so far."""
         with self._lock:
             return list(self._roots)
+
+    def adopt(self, spans: list[Span], offset: float = 0.0) -> None:
+        """File spans recorded by another tracer (e.g. a worker process).
+
+        Each span tree is re-timed into this tracer's timebase by adding
+        ``offset`` (the foreign tracer's epoch expressed in this tracer's
+        seconds) and attached as a child of the currently open span, or as
+        a new root when no span is open.  Parallel subproblem workers use
+        this to stitch their solve spans back under ``rasa.schedule`` so
+        ``--trace-out`` stays complete under parallelism.
+        """
+        shifted = [_shift_span(span, offset) for span in spans]
+        stack = self._stack()
+        if stack:
+            stack[-1].children.extend(shifted)
+            return
+        with self._lock:
+            self._roots.extend(shifted)
 
     # ------------------------------------------------------------------
     # Export
@@ -270,6 +291,20 @@ class Tracer:
         for root in self.finished_roots():
             render(root, 0)
         return "\n".join(lines)
+
+
+def _shift_span(span: Span, offset: float) -> Span:
+    """Deep-copy a span tree with all timestamps shifted by ``offset``."""
+    return Span(
+        name=span.name,
+        start=span.start + offset,
+        end=None if span.end is None else span.end + offset,
+        tags=dict(span.tags),
+        children=[_shift_span(child, offset) for child in span.children],
+        events=[(ts + offset, name, dict(tags)) for ts, name, tags in span.events],
+        thread_id=span.thread_id,
+        instant=span.instant,
+    )
 
 
 def _jsonable(tags: dict[str, Any]) -> dict[str, Any]:

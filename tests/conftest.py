@@ -8,11 +8,137 @@ sharing them across tests is safe and fast.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.core import AntiAffinityRule, Machine, RASAProblem, Service
+from repro.core import AntiAffinityRule, Assignment, Machine, RASAProblem, Service
 from repro.workloads import ClusterSpec, generate_cluster
+
+
+# ----------------------------------------------------------------------
+# Shared invariant helper
+# ----------------------------------------------------------------------
+def assert_feasible(assignment: Assignment, allow_partial: bool = False) -> None:
+    """Assert an assignment respects every constraint family.
+
+    Capacity, anti-affinity, and schedulability are always enforced.  With
+    ``allow_partial=True`` the SLA check only forbids *over*-placement
+    (``placed <= demand`` per service) — raw solvers may legitimately
+    leave containers undeployed for the default scheduler to pick up
+    (paper Section IV-B5); the full pipeline must place everything.
+
+    Shared across test modules (also exposed as the ``assert_feasible``
+    fixture) so every solver/scheduler test states feasibility the same way.
+    """
+    report = assignment.check_feasibility(check_sla=not allow_partial)
+    assert not report.resource_violations, f"capacity violated: {report.summary()}"
+    assert not report.anti_affinity_violations, (
+        f"anti-affinity violated: {report.summary()}"
+    )
+    assert not report.schedulable_violations, (
+        f"schedulability violated: {report.summary()}"
+    )
+    if allow_partial:
+        placed = assignment.x.sum(axis=1)
+        demands = assignment.problem.demands
+        over = [
+            (svc.name, int(placed[i]), int(demands[i]))
+            for i, svc in enumerate(assignment.problem.services)
+            if placed[i] > demands[i]
+        ]
+        assert not over, f"services over-placed beyond demand: {over}"
+    else:
+        assert not report.sla_violations, f"SLA violated: {report.summary()}"
+
+
+@pytest.fixture(name="assert_feasible")
+def _assert_feasible_fixture():
+    """The :func:`assert_feasible` helper, as a fixture for test modules."""
+    return assert_feasible
+
+
+# ----------------------------------------------------------------------
+# Randomized problem generator (property-based invariant harness)
+# ----------------------------------------------------------------------
+def make_random_problem(
+    seed: int,
+    num_services: int | None = None,
+    num_machines: int | None = None,
+) -> RASAProblem:
+    """Generate a seeded random :class:`RASAProblem` that is feasible.
+
+    Feasibility by construction: aggregate machine capacity is ~2x the
+    aggregate container demand, anti-affinity limits leave slack over the
+    even spread, and every service stays schedulable on at least half the
+    machines — so solvers and the full pipeline are always *able* to place
+    everything, and the invariant tests can demand they never emit a
+    constraint-violating assignment.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(num_services if num_services is not None else rng.integers(4, 13))
+    m = int(num_machines if num_machines is not None else rng.integers(3, 9))
+
+    services = [
+        Service(
+            name=f"s{i}",
+            demand=int(rng.integers(1, 5)),
+            requests={
+                "cpu": float(rng.uniform(0.5, 4.0)),
+                "memory": float(rng.uniform(0.5, 4.0)),
+            },
+            priority=float(rng.uniform(0.5, 2.0)),
+        )
+        for i in range(n)
+    ]
+    total = np.zeros(2)
+    for svc in services:
+        total += svc.demand * np.array([svc.requests["cpu"], svc.requests["memory"]])
+    machines = []
+    for j in range(m):
+        jitter = rng.uniform(0.8, 1.2, size=2)
+        capacity = total * 2.0 / m * jitter
+        machines.append(
+            Machine(
+                name=f"m{j}",
+                capacity={"cpu": float(capacity[0]), "memory": float(capacity[1])},
+                spec="big" if j % 2 else "small",
+            )
+        )
+
+    affinity: dict[tuple[str, str], float] = {}
+    num_edges = int(rng.integers(n, 2 * n + 1))
+    for _ in range(num_edges):
+        u, v = rng.choice(n, size=2, replace=False)
+        affinity[(f"s{u}", f"s{v}")] = float(1.0 + rng.pareto(2.0) * 5.0)
+
+    anti_affinity = []
+    if rng.random() < 0.7:
+        members = rng.choice(n, size=int(rng.integers(1, min(3, n) + 1)), replace=False)
+        member_demand = sum(services[i].demand for i in members)
+        # Slack over the even spread across the *half* of the machines a
+        # member may be restricted to by the schedulability matrix below.
+        limit = math.ceil(member_demand / max(1, m // 2)) + 1
+        anti_affinity.append(
+            AntiAffinityRule(
+                services=frozenset(f"s{i}" for i in members), limit=limit
+            )
+        )
+
+    schedulable = np.ones((n, m), dtype=bool)
+    for i in range(n):
+        if rng.random() < 0.3:
+            banned = rng.choice(m, size=m // 2, replace=False)
+            schedulable[i, banned] = False
+
+    return RASAProblem(
+        services,
+        machines,
+        affinity=affinity,
+        anti_affinity=anti_affinity,
+        schedulable=schedulable,
+    )
 
 
 @pytest.fixture

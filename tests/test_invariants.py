@@ -1,0 +1,68 @@
+"""Property-based feasibility invariants over randomized instances.
+
+Every solver in :mod:`repro.solvers` and both scheduler execution modes
+must emit assignments that respect capacity, anti-affinity, and
+schedulability on *any* well-formed instance — and the full pipeline must
+additionally meet every SLA.  Instances come from the seeded
+:func:`conftest.make_random_problem` generator, which is feasible by
+construction, so a violation is always a solver bug rather than an
+impossible instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import assert_feasible, make_random_problem
+
+from repro.core import RASAConfig, RASAScheduler
+from repro.solvers import (
+    ColumnGenerationAlgorithm,
+    GreedyAlgorithm,
+    LocalSearchAlgorithm,
+    MIPAlgorithm,
+)
+from repro.solvers.aggregated_mip import AggregatedMIPAlgorithm
+
+SOLVERS = [
+    GreedyAlgorithm,
+    MIPAlgorithm,
+    ColumnGenerationAlgorithm,
+    LocalSearchAlgorithm,
+    AggregatedMIPAlgorithm,
+]
+
+SEEDS = range(6)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("algorithm_cls", SOLVERS, ids=lambda c: c.name)
+def test_every_solver_emits_feasible_assignments(algorithm_cls, seed):
+    """Solvers may under-place (partial SLA) but never violate a constraint."""
+    problem = make_random_problem(seed)
+    result = algorithm_cls().solve(problem, time_limit=3.0)
+    assert_feasible(result.assignment, allow_partial=True)
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_sequential_pipeline_emits_fully_feasible_assignments(seed):
+    problem = make_random_problem(seed, num_services=14)
+    config = RASAConfig(max_subproblem_services=6)
+    result = RASAScheduler(config=config).schedule(problem, time_limit=10.0)
+    assert_feasible(result.assignment)
+
+
+@pytest.mark.parametrize("seed", (0, 1))
+def test_parallel_pipeline_emits_fully_feasible_assignments(seed):
+    problem = make_random_problem(seed, num_services=14)
+    config = RASAConfig(max_subproblem_services=6, workers=2)
+    result = RASAScheduler(config=config).schedule(problem, time_limit=10.0)
+    assert_feasible(result.assignment)
+
+
+def test_random_problems_are_feasible_by_construction():
+    """The generator's capacity slack admits a full greedy placement."""
+    for seed in SEEDS:
+        problem = make_random_problem(seed)
+        exact = MIPAlgorithm().solve(problem, time_limit=5.0)
+        assert_feasible(exact.assignment)
