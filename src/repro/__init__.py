@@ -1,18 +1,27 @@
 """RASA — Resource Allocation with Service Affinity (ICDE 2024) reproduction.
 
-Public API tour:
+Public API tour — start with the :mod:`repro.api` facade:
 
-* Model a cluster with :class:`Service`, :class:`Machine`,
-  :class:`AntiAffinityRule`, and :class:`RASAProblem`.
-* Optimize placement with :class:`RASAScheduler` (the paper's three-phase
-  pipeline) and inspect the result's :class:`Assignment`.
-* Transition safely with :class:`MigrationPathBuilder` /
-  :class:`MigrationExecutor`.
-* Run the continuous control plane with :class:`ClusterState`,
-  :class:`DataCollector`, and :class:`CronJobController`.
-* Generate paper-shaped synthetic clusters via :mod:`repro.workloads`.
+* :func:`optimize` — run the three-phase RASA pipeline on a problem.
+* :func:`plan_migration` / :func:`execute_plan` — compute and replay
+  SLA-safe migration paths (with optional fault injection and retries).
+* :func:`run_control_loop` — drive the CronJob control plane, optionally
+  under a chaos :class:`FaultPlan`.
+
+Model a cluster with :class:`Service`, :class:`Machine`,
+:class:`AntiAffinityRule`, and :class:`RASAProblem`; generate paper-shaped
+synthetic clusters via :mod:`repro.workloads`.
+
+Advanced (class-based) surface: :class:`RASAScheduler` for custom
+partitioners/selectors, :class:`MigrationPathBuilder` /
+:class:`MigrationExecutor` for migration internals, and
+:class:`~repro.cluster.cronjob.CronJobController` with
+:class:`~repro.cluster.state.ClusterState` and
+:class:`~repro.cluster.collector.DataCollector` for bespoke control loops.
 """
 
+from repro import api
+from repro.api import execute_plan, optimize, plan_migration, run_control_loop
 from repro.core import (
     AffinityGraph,
     AntiAffinityRule,
@@ -22,7 +31,7 @@ from repro.core import (
     RASAProblem,
     Service,
 )
-from repro.core.config import RASAConfig
+from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
 from repro.core.rasa import RASAResult, RASAScheduler, SubproblemReport
 from repro.exceptions import (
     ClusterStateError,
@@ -34,15 +43,25 @@ from repro.exceptions import (
     SolverTimeoutError,
     TrainingError,
 )
-from repro.migration import MigrationExecutor, MigrationPathBuilder, MigrationPlan
+from repro.faults import FaultInjector, FaultPlan
+from repro.migration import (
+    ExecutionTrace,
+    MigrationExecutor,
+    MigrationPathBuilder,
+    MigrationPlan,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AffinityGraph",
     "AntiAffinityRule",
     "Assignment",
     "ClusterStateError",
+    "DegradationPolicy",
+    "ExecutionTrace",
+    "FaultInjector",
+    "FaultPlan",
     "FeasibilityReport",
     "InfeasibleProblemError",
     "Machine",
@@ -56,10 +75,16 @@ __all__ = [
     "RASAResult",
     "RASAScheduler",
     "ReproError",
+    "RetryPolicy",
     "Service",
     "SolverError",
     "SolverTimeoutError",
     "SubproblemReport",
     "TrainingError",
     "__version__",
+    "api",
+    "execute_plan",
+    "optimize",
+    "plan_migration",
+    "run_control_loop",
 ]

@@ -1,0 +1,197 @@
+"""Stable, keyword-only entry points — the supported surface of ``repro``.
+
+Four functions cover the library's workflows end to end:
+
+* :func:`optimize` — run the three-phase RASA pipeline on a problem.
+* :func:`plan_migration` — compute an SLA-safe migration path between two
+  assignments.
+* :func:`execute_plan` — replay a migration plan with invariant checking,
+  optional fault injection, and retry/backoff.
+* :func:`run_control_loop` — drive the CronJob control plane for N cycles,
+  optionally under a chaos :class:`~repro.faults.FaultPlan`.
+
+Each facade function is a thin, stable wrapper over the class-based layer
+(:class:`~repro.core.rasa.RASAScheduler`,
+:class:`~repro.migration.path.MigrationPathBuilder`,
+:class:`~repro.migration.executor.MigrationExecutor`,
+:class:`~repro.cluster.cronjob.CronJobController`) and returns exactly what
+the underlying call would — the classes remain available for advanced
+composition (custom partitioners, selectors, schedulers), but new code
+should start here: keyword-only signatures keep call sites readable and
+let the underlying constructors evolve without breaking callers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.collector import DataCollector
+from repro.cluster.cronjob import CronJobController, CycleReport
+from repro.cluster.state import ClusterState
+from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
+from repro.core.problem import RASAProblem
+from repro.core.rasa import RASAResult, RASAScheduler
+from repro.core.solution import Assignment
+from repro.faults import FaultInjector, FaultPlan, coerce_injector
+from repro.migration.executor import ExecutionTrace, MigrationExecutor
+from repro.migration.path import MigrationPathBuilder
+from repro.migration.plan import MigrationPlan
+
+__all__ = [
+    "execute_plan",
+    "optimize",
+    "plan_migration",
+    "run_control_loop",
+]
+
+
+def _coerce_assignment(
+    problem: RASAProblem, assignment: "Assignment | np.ndarray"
+) -> Assignment:
+    """Accept an Assignment or a raw placement matrix."""
+    if isinstance(assignment, Assignment):
+        return assignment
+    return Assignment(problem, np.asarray(assignment))
+
+
+def optimize(
+    problem: RASAProblem,
+    *,
+    config: RASAConfig | None = None,
+    time_limit: float | None = None,
+) -> RASAResult:
+    """Compute a cluster-wide placement maximizing gained affinity.
+
+    Args:
+        problem: The cluster instance.
+        config: Pipeline tunables; None uses :class:`RASAConfig` defaults.
+        time_limit: Overall wall-clock budget (seconds); None is unlimited.
+
+    Returns:
+        The merged placement plus per-phase diagnostics, identical to
+        ``RASAScheduler(config=config).schedule(problem, time_limit=...)``.
+    """
+    return RASAScheduler(config=config).schedule(problem, time_limit=time_limit)
+
+
+def plan_migration(
+    problem: RASAProblem,
+    start: "Assignment | np.ndarray",
+    target: "Assignment | np.ndarray",
+    *,
+    sla_floor: float = 0.75,
+) -> MigrationPlan:
+    """Compute an SLA-safe migration path from ``start`` to ``target``.
+
+    Args:
+        problem: The cluster instance both assignments belong to.
+        start: Current placement (Assignment or placement matrix).
+        target: Desired placement.
+        sla_floor: Minimum alive fraction per service during migration.
+
+    Returns:
+        An executable :class:`MigrationPlan`; ``plan.complete`` is False
+        when some containers cannot move without violating the floor.
+    """
+    return MigrationPathBuilder(sla_floor=sla_floor).build(
+        problem,
+        _coerce_assignment(problem, start),
+        _coerce_assignment(problem, target),
+    )
+
+
+def execute_plan(
+    problem: RASAProblem,
+    start: "Assignment | np.ndarray",
+    plan: MigrationPlan,
+    *,
+    strict: bool = True,
+    faults: "FaultPlan | FaultInjector | dict | None" = None,
+    retry: RetryPolicy | None = None,
+) -> ExecutionTrace:
+    """Replay a migration plan against ``start`` with invariant checking.
+
+    Args:
+        problem: The cluster instance.
+        start: Placement the plan applies to.
+        plan: The migration plan (typically from :func:`plan_migration`).
+        strict: Raise on invariant violations instead of recording them.
+        faults: Optional chaos source — a :class:`FaultPlan`, a plan-shaped
+            dict, or a ready :class:`FaultInjector`; None replays
+            fault-free.
+        retry: Backoff policy for faulted commands.
+
+    Returns:
+        The :class:`ExecutionTrace`, whose ``outcome`` reports
+        ``"completed"``, ``"partial"``, or ``"rolled_back"``.
+    """
+    executor = MigrationExecutor(strict=strict, retry=retry)
+    return executor.execute(
+        problem,
+        _coerce_assignment(problem, start),
+        plan,
+        injector=coerce_injector(faults),
+    )
+
+
+def run_control_loop(
+    state: "ClusterState | RASAProblem",
+    *,
+    cycles: int,
+    config: RASAConfig | None = None,
+    faults: "FaultPlan | FaultInjector | dict | None" = None,
+    collector: DataCollector | None = None,
+    time_limit: float | None = 10.0,
+    interval_seconds: float = 1800.0,
+    sla_floor: float = 0.75,
+    rollback_imbalance: float | None = None,
+    degradation: DegradationPolicy | None = None,
+    retry: RetryPolicy | None = None,
+    traffic_jitter_sigma: float = 0.0,
+    seed: int = 0,
+) -> list[CycleReport]:
+    """Drive the CronJob control plane for ``cycles`` cycles.
+
+    Args:
+        state: A live :class:`ClusterState`, or a :class:`RASAProblem` to
+            wrap in one (using its recorded current assignment).
+        cycles: Number of half-hourly cycles to run.
+        config: Scheduler tunables for the per-cycle RASA solve.
+        faults: Optional chaos source (see :func:`execute_plan`).
+        collector: Custom data collector; None builds one from the
+            problem's affinity weights as ground-truth traffic.
+        time_limit: Per-cycle solver budget (seconds); None is unlimited.
+        interval_seconds: Simulated time between cycles.
+        sla_floor: Alive-fraction floor enforced during migrations.
+        rollback_imbalance: Utilization-skew rollback threshold; None
+            disables the guard.
+        degradation: Ladder policy for faulted cycles; None uses defaults
+            (retry once, then greedy residual, then skip-and-tag).
+        retry: Backoff policy for faulted migration commands.
+        traffic_jitter_sigma: Measurement drift of the default collector.
+        seed: Seed of the default collector's jitter stream.
+
+    Returns:
+        One :class:`CycleReport` per cycle, in order.
+    """
+    if isinstance(state, RASAProblem):
+        state = ClusterState(state)
+    if collector is None:
+        collector = DataCollector(
+            dict(state.problem.affinity.items()),
+            traffic_jitter_sigma=traffic_jitter_sigma,
+            seed=seed,
+        )
+    controller = CronJobController(
+        state=state,
+        collector=collector,
+        rasa=RASAScheduler(config=config),
+        time_limit=time_limit,
+        interval_seconds=interval_seconds,
+        sla_floor=sla_floor,
+        rollback_imbalance=rollback_imbalance,
+        faults=coerce_injector(faults),
+        degradation=degradation or DegradationPolicy(),
+        retry=retry or RetryPolicy(),
+    )
+    return controller.run(cycles)

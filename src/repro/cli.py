@@ -9,11 +9,17 @@ Subcommands mirror the workflows a cluster operator needs:
   / ``--parallel`` solve independent subproblems in a process pool.
 * ``rasa compare`` — run every baseline plus RASA on a trace.
 * ``rasa inspect`` — placement metrics and skew profile of a trace.
+* ``rasa cron`` — run the CronJob control loop for N cycles, optionally
+  under a chaos ``--fault-plan``, with a ``--degradation-policy`` ladder
+  and a machine-readable ``--report-out``.
 
 Every subcommand accepts ``--log-level`` (structured ``repro.*`` logging
 to stderr) and ``--quiet`` (suppress the plain-text stdout report);
 ``rasa optimize`` additionally writes Chrome trace-event JSON with
 ``--trace-out`` and a metrics snapshot with ``--metrics-out``.
+
+Command implementations go through the :mod:`repro.api` facade — the CLI
+is a thin shell over the same supported surface library callers use.
 
 Installed as the ``rasa`` console script via pyproject.
 """
@@ -21,12 +27,15 @@ Installed as the ``rasa`` console script via pyproject.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
+from repro import api
 from repro.analysis import pair_localization_table, placement_metrics
-from repro.core import Assignment, RASAConfig, RASAScheduler
-from repro.migration import MigrationPathBuilder
+from repro.core import Assignment, DegradationPolicy, RASAConfig
+from repro.exceptions import ProblemValidationError
+from repro.faults import FaultPlan
 from repro.obs import Tracer, configure_logging, get_logger, get_metrics, set_tracer
 from repro.workloads import ClusterSpec, generate_cluster, load_cluster
 from repro.workloads.trace_io import load_trace, save_trace
@@ -127,6 +136,36 @@ def _add_inspect(subparsers) -> None:
     _add_common(parser)
 
 
+def _add_cron(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "cron", help="run the CronJob control loop on a trace"
+    )
+    parser.add_argument("trace", help="JSON trace file (needs a current assignment)")
+    parser.add_argument("--cycles", type=int, default=5)
+    parser.add_argument("--time-limit", type=float, default=10.0,
+                        help="per-cycle solver budget in seconds")
+    parser.add_argument("--sla-floor", type=float, default=0.75,
+                        help="alive-fraction floor enforced during migrations")
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        help="JSON FaultPlan file enabling seeded chaos injection",
+    )
+    parser.add_argument(
+        "--degradation-policy",
+        default="retry,greedy,skip",
+        metavar="LADDER",
+        help="comma ladder of rungs for faulted cycles: retry[:N], greedy, skip "
+             "(default: retry,greedy,skip)",
+    )
+    parser.add_argument(
+        "--report-out",
+        help="write the per-cycle reports as machine-readable JSON",
+    )
+    _add_parallel(parser)
+    _add_common(parser)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -138,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_optimize(subparsers)
     _add_compare(subparsers)
     _add_inspect(subparsers)
+    _add_cron(subparsers)
     return parser
 
 
@@ -190,8 +230,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
     previous = set_tracer(tracer) if tracer is not None else None
     try:
-        scheduler = RASAScheduler(config=_scheduler_config(args))
-        result = scheduler.schedule(problem, time_limit=args.time_limit)
+        result = api.optimize(
+            problem, config=_scheduler_config(args), time_limit=args.time_limit
+        )
     finally:
         if tracer is not None:
             set_tracer(previous)
@@ -212,8 +253,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             out("trace has no current assignment; skipping migration plan")
             exit_code = 1
         else:
-            original = Assignment(problem, problem.current_assignment)
-            plan = MigrationPathBuilder().build(problem, original, result.assignment)
+            plan = api.plan_migration(
+                problem, problem.current_assignment, result.assignment
+            )
             out(f"migration: {plan.summary()} ({plan.moved_containers} containers)")
 
     try:
@@ -253,8 +295,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{algorithm.name:12s} {result.objective / total:>8.3f} "
             f"{result.runtime_seconds:>8.1f}s"
         )
-    scheduler = RASAScheduler(config=_scheduler_config(args))
-    result = scheduler.schedule(problem, time_limit=args.time_limit)
+    result = api.optimize(
+        problem, config=_scheduler_config(args), time_limit=args.time_limit
+    )
     out(f"{'rasa':12s} {result.gained_affinity:>8.3f} "
         f"{result.runtime_seconds:>8.1f}s")
     return 0
@@ -283,11 +326,74 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cron(args: argparse.Namespace) -> int:
+    out = _make_output(args)
+    problem = load_trace(args.trace)
+    if problem.current_assignment is None:
+        out("trace has no current assignment; cannot run the control loop")
+        return 1
+
+    faults = None
+    if args.fault_plan:
+        try:
+            faults = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, ProblemValidationError) as exc:
+            print(f"error: could not load fault plan: {exc}", file=sys.stderr)
+            return 1
+        out(f"fault plan: {faults.to_dict()}")
+    try:
+        degradation = DegradationPolicy.parse(args.degradation_policy)
+    except (ValueError, ProblemValidationError) as exc:
+        print(f"error: invalid --degradation-policy: {exc}", file=sys.stderr)
+        return 1
+
+    reports = api.run_control_loop(
+        problem,
+        cycles=args.cycles,
+        config=_scheduler_config(args),
+        faults=faults,
+        time_limit=args.time_limit,
+        sla_floor=args.sla_floor,
+        degradation=degradation,
+    )
+
+    out(f"{'cycle':>5s} {'action':16s} {'gained':>8s} {'moved':>6s} "
+        f"{'skipped':>8s} {'failed':>7s} {'sla':>4s}")
+    for report in reports:
+        out(
+            f"{report.cycle:>5d} {report.action:16s} "
+            f"{report.gained_after:>8.3f} {report.moved_containers:>6d} "
+            f"{report.skipped_commands:>8d} {report.failed_commands:>7d} "
+            f"{'ok' if report.sla_ok else 'VIOL':>4s}"
+        )
+    degraded = [r for r in reports if r.rungs]
+    out(
+        f"cycles: {len(reports)} "
+        f"({sum(1 for r in reports if r.action == 'executed')} executed, "
+        f"{sum(1 for r in reports if r.action == 'dry_run')} dry-run, "
+        f"{len(degraded)} degraded)"
+    )
+
+    exit_code = 0 if all(r.sla_ok for r in reports) else 1
+    if exit_code:
+        out("SLA floor violated in at least one cycle")
+    if args.report_out:
+        try:
+            with open(args.report_out, "w", encoding="utf-8") as handle:
+                json.dump([r.to_dict() for r in reports], handle, indent=1)
+            out(f"wrote report to {args.report_out}")
+        except OSError as exc:
+            print(f"error: could not write report: {exc}", file=sys.stderr)
+            exit_code = 1
+    return exit_code
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "optimize": cmd_optimize,
     "compare": cmd_compare,
     "inspect": cmd_inspect,
+    "cron": cmd_cron,
 }
 
 

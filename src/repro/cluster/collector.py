@@ -5,6 +5,13 @@ deployments, and traffic metrics per cluster (Section III-A).  Here the
 traffic metrics come from the simulated monitoring system: the generator's
 ground-truth QPS jittered per collection window, so consecutive CronJob
 cycles see realistically drifting affinity weights.
+
+With a :class:`~repro.faults.FaultInjector`, the collector can also model a
+monitoring plane that misbehaves: a *stale* snapshot (the previous cycle's
+problem is served again, deployments and all) or a *partial* one (a
+fraction of traffic edges is missing).  Both are downstream-survivable: a
+stale deployment map produces migration commands the CronJob skips and
+repairs, and missing edges merely under-inform the optimizer.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ import numpy as np
 from repro.cluster.state import ClusterState
 from repro.core.affinity import AffinityGraph
 from repro.core.problem import RASAProblem
+from repro.faults import SNAPSHOT_FAULT_STALE, FaultInjector
+from repro.obs import get_logger, kv
 
 
 class DataCollector:
@@ -36,15 +45,35 @@ class DataCollector:
         self.qps = dict(qps)
         self.traffic_jitter_sigma = traffic_jitter_sigma
         self._rng = np.random.default_rng(seed)
+        self._last_problem: RASAProblem | None = None
 
-    def collect(self, state: ClusterState) -> RASAProblem:
+    def collect(
+        self,
+        state: ClusterState,
+        *,
+        injector: FaultInjector | None = None,
+    ) -> RASAProblem:
         """Snapshot the cluster into a fresh :class:`RASAProblem`.
 
         The returned problem carries the current placement as
         ``current_assignment``, jittered traffic as affinity weights, and a
         schedulability matrix with churn-tagged machines masked out (so the
         optimizer cannot re-populate machines under the 3-day rollback tag).
+
+        Args:
+            injector: Optional fault source.  A *stale* fault replays the
+                previous collection verbatim; a non-zero drop fraction
+                removes traffic edges from this window's snapshot.  None
+                (the default) always collects fresh, exactly as before.
         """
+        if injector is not None and self._last_problem is not None:
+            if injector.snapshot_fault() == SNAPSHOT_FAULT_STALE:
+                get_logger("cluster.collector").warning(
+                    "stale snapshot %s",
+                    kv(services=self._last_problem.num_services),
+                )
+                return self._last_problem
+
         base = state.problem
         weights: dict[tuple[str, str], float] = {}
         for pair, volume in self.qps.items():
@@ -55,12 +84,22 @@ class DataCollector:
             )
             weights[pair] = volume * jitter
 
+        if injector is not None and weights:
+            dropped = injector.dropped_edges(sorted(weights))
+            if dropped:
+                get_logger("cluster.collector").warning(
+                    "partial snapshot %s",
+                    kv(dropped_edges=len(dropped), total_edges=len(weights)),
+                )
+                for pair in dropped:
+                    del weights[pair]
+
         schedulable = base.schedulable.copy()
         for m, machine in enumerate(base.machines):
             if not state.is_schedulable_machine(machine.name):
                 schedulable[:, m] = False
 
-        return RASAProblem(
+        problem = RASAProblem(
             services=base.services,
             machines=base.machines,
             affinity=AffinityGraph(weights),
@@ -69,3 +108,5 @@ class DataCollector:
             resource_types=base.resource_types,
             current_assignment=state.placement,
         )
+        self._last_problem = problem
+        return problem

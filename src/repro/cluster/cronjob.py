@@ -10,6 +10,16 @@ Orchestrates the full optimization loop every cycle:
 5. *rollback guard*: if the reallocation skewed machine utilization past a
    threshold, restore the previous placement, re-place via the default
    scheduler, and tag the skewed machines unschedulable for three days.
+
+The controller is fault-tolerant: with a
+:class:`~repro.faults.FaultInjector` attached, migration commands can fail
+or time out (retried with exponential backoff under a
+:class:`~repro.core.config.RetryPolicy`), machines can flap mid-cycle, and
+collector snapshots can go stale.  A cycle whose migration aborts walks the
+:class:`~repro.core.config.DegradationPolicy` ladder — retry the cycle,
+re-solve the residual with the greedy default scheduler, or skip the cycle
+and tag the offending machines unschedulable — and every rung fired is
+recorded on the :class:`CycleReport` and in spans/metrics.
 """
 
 from __future__ import annotations
@@ -21,9 +31,11 @@ import numpy as np
 from repro.cluster.collector import DataCollector
 from repro.cluster.scheduler import DefaultScheduler
 from repro.cluster.state import ClusterState
+from repro.core.config import DegradationPolicy, RetryPolicy
 from repro.core.rasa import RASAScheduler
 from repro.core.solution import Assignment
 from repro.exceptions import ClusterStateError
+from repro.faults import FaultInjector, attempt_with_retry
 from repro.migration.path import MigrationPathBuilder
 from repro.obs import get_logger, get_metrics, get_tracer, kv
 
@@ -40,12 +52,29 @@ class CycleReport:
 
     Attributes:
         cycle: Cycle index.
-        action: ``"executed"``, ``"dry_run"``, or ``"rolled_back"``.
+        action: Final disposition — ``"executed"``, ``"dry_run"``, or
+            ``"rolled_back"`` on the fault-free path; degraded cycles
+            record the ladder rung that resolved them instead:
+            ``"retried"``, ``"degraded_greedy"``, or ``"skipped"``.
         gained_before: Normalized gained affinity before the cycle.
         gained_after: Normalized gained affinity after the cycle.
         moved_containers: Containers relocated (0 for dry runs).
         imbalance_after: Machine-utilization standard deviation after the
             cycle.
+        skipped_commands: Stale commands dropped while applying the plan
+            (inapplicable against the live state).
+        failed_commands: Commands that exhausted their retry budget.
+        command_retries: Fault-retry attempts across all commands.
+        retry_delay_seconds: Total backoff delay accrued by those retries.
+        machine_failures: Machines that flapped during the cycle.
+        rungs: Degradation-ladder rungs fired, in order (empty on the
+            fault-free path).
+        cycle_attempts: Times the cycle body ran (1 + retry-rung firings).
+        min_alive_fraction: Lowest per-service alive fraction observed at
+            any migration step boundary during the cycle (1.0 for dry
+            runs).
+        sla_ok: Whether every step boundary and the final state respected
+            the SLA floor.
         metrics: Snapshot of the process metrics registry taken when the
             cycle finished.
     """
@@ -56,7 +85,78 @@ class CycleReport:
     gained_after: float
     moved_containers: int = 0
     imbalance_after: float = 0.0
+    skipped_commands: int = 0
+    failed_commands: int = 0
+    command_retries: int = 0
+    retry_delay_seconds: float = 0.0
+    machine_failures: list[str] = field(default_factory=list)
+    rungs: list[str] = field(default_factory=list)
+    cycle_attempts: int = 1
+    min_alive_fraction: float = 1.0
+    sla_ok: bool = True
     metrics: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialization (mirrors MigrationPlan.to_dict conventions)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to plain data (JSON-compatible)."""
+        return {
+            "cycle": self.cycle,
+            "action": self.action,
+            "gained_before": self.gained_before,
+            "gained_after": self.gained_after,
+            "moved_containers": self.moved_containers,
+            "imbalance_after": self.imbalance_after,
+            "skipped_commands": self.skipped_commands,
+            "failed_commands": self.failed_commands,
+            "command_retries": self.command_retries,
+            "retry_delay_seconds": self.retry_delay_seconds,
+            "machine_failures": list(self.machine_failures),
+            "rungs": list(self.rungs),
+            "cycle_attempts": self.cycle_attempts,
+            "min_alive_fraction": self.min_alive_fraction,
+            "sla_ok": self.sla_ok,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CycleReport":
+        """Deserialize a report written by :meth:`to_dict`."""
+        return cls(
+            cycle=int(payload["cycle"]),
+            action=str(payload["action"]),
+            gained_before=float(payload["gained_before"]),
+            gained_after=float(payload["gained_after"]),
+            moved_containers=int(payload.get("moved_containers", 0)),
+            imbalance_after=float(payload.get("imbalance_after", 0.0)),
+            skipped_commands=int(payload.get("skipped_commands", 0)),
+            failed_commands=int(payload.get("failed_commands", 0)),
+            command_retries=int(payload.get("command_retries", 0)),
+            retry_delay_seconds=float(payload.get("retry_delay_seconds", 0.0)),
+            machine_failures=list(payload.get("machine_failures", [])),
+            rungs=list(payload.get("rungs", [])),
+            cycle_attempts=int(payload.get("cycle_attempts", 1)),
+            min_alive_fraction=float(payload.get("min_alive_fraction", 1.0)),
+            sla_ok=bool(payload.get("sla_ok", True)),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+
+@dataclass
+class _ApplyOutcome:
+    """Result of replaying one migration plan onto the live state."""
+
+    skipped: int = 0
+    failed: int = 0
+    retries: int = 0
+    retry_delay: float = 0.0
+    aborted: bool = False
+    safe_steps: int = 0
+    moved_at_safe: int = 0
+    min_alive: float = 1.0
+    boundaries_safe: bool = True
+    failed_machines: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -78,6 +178,10 @@ class CronJobController:
             configuration untouched.
         parallel: When set, overrides the scheduler's tri-state parallel
             switch the same way.
+        faults: Optional fault injector; None (the default) runs the exact
+            fault-free control loop.
+        degradation: The ladder walked when a cycle's migration aborts.
+        retry: Backoff policy for faulted migration commands.
         history: Reports of every cycle run so far.
     """
 
@@ -86,12 +190,15 @@ class CronJobController:
     rasa: RASAScheduler = field(default_factory=RASAScheduler)
     default_scheduler: DefaultScheduler = field(default_factory=DefaultScheduler)
     interval_seconds: float = 1800.0
-    time_limit: float = 10.0
+    time_limit: float | None = 10.0
     improvement_gate: float = IMPROVEMENT_GATE
     rollback_imbalance: float | None = None
     sla_floor: float = 0.75
     workers: int | None = None
     parallel: bool | None = None
+    faults: FaultInjector | None = None
+    degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     history: list[CycleReport] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -125,9 +232,78 @@ class CronJobController:
         return report
 
     def _run_cycle(self, cycle: int, tracer, logger) -> CycleReport:
-        """The cycle body: collect → schedule → gate → migrate → guard."""
+        """One cycle with fault handling: attempt → degradation ladder."""
+        metrics = get_metrics()
+        machine_failures = self._inject_machine_faults(cycle, tracer, logger)
+
+        rungs: list[str] = []
+        attempts = 0
+        report: CycleReport | None = None
+        outcome = _ApplyOutcome()
+        totals = _ApplyOutcome()
+        before_placement = self.state.placement
+        while True:
+            attempts += 1
+            report, outcome = self._attempt_cycle(cycle, tracer, logger)
+            totals.skipped += outcome.skipped
+            totals.failed += outcome.failed
+            totals.retries += outcome.retries
+            totals.retry_delay += outcome.retry_delay
+            totals.min_alive = min(totals.min_alive, outcome.min_alive)
+            totals.boundaries_safe = (
+                totals.boundaries_safe and outcome.boundaries_safe
+            )
+            if report is not None:
+                break
+            # The migration aborted; the state sits at the last SLA-safe
+            # step boundary.  Walk the ladder.
+            if attempts <= self.degradation.cycle_retries:
+                rungs.append("retry")
+                metrics.counter("cron.degradation.retried").inc()
+                tracer.event("cron.degrade", rung="retry", attempt=attempts)
+                logger.warning(
+                    "cycle retry %s",
+                    kv(cycle=cycle, attempt=attempts,
+                       failed_commands=outcome.failed),
+                )
+                self.state.restore(before_placement)
+                continue
+            break
+
+        if report is None:
+            report = self._degrade(
+                cycle, outcome, before_placement, rungs, tracer, logger
+            )
+        elif rungs:
+            # A retry rung resolved the cycle: the action records the rung.
+            report.action = "retried"
+            metrics.counter("cron.degradation.resolved_by_retry").inc()
+
+        report.rungs = rungs
+        report.cycle_attempts = attempts
+        report.machine_failures = machine_failures
+        # Counts cover every attempt of the cycle, not just the resolving
+        # one — reverted attempts still drew faults and touched the state.
+        report.skipped_commands = totals.skipped
+        report.failed_commands = totals.failed
+        report.command_retries = totals.retries
+        report.retry_delay_seconds = totals.retry_delay
+        report.min_alive_fraction = totals.min_alive
+        report.sla_ok = (
+            totals.boundaries_safe and report.sla_ok and self._sla_satisfied()
+        )
+        return report
+
+    def _attempt_cycle(
+        self, cycle: int, tracer, logger
+    ) -> tuple[CycleReport | None, _ApplyOutcome]:
+        """One attempt of the cycle body: collect → schedule → gate → migrate.
+
+        Returns ``(report, outcome)``; the report is None when the
+        migration aborted and the degradation ladder must decide.
+        """
         with tracer.span("cron.collect"):
-            problem = self.collector.collect(self.state)
+            problem = self.collector.collect(self.state, injector=self.faults)
         current = Assignment(problem, problem.current_assignment)
         gained_before = current.gained_affinity(normalized=True)
 
@@ -156,12 +332,15 @@ class CronJobController:
                     gate=self.improvement_gate,
                 ),
             )
-            return CycleReport(
-                cycle=cycle,
-                action="dry_run",
-                gained_before=gained_before,
-                gained_after=gained_before,
-                imbalance_after=self.state.utilization_imbalance(),
+            return (
+                CycleReport(
+                    cycle=cycle,
+                    action="dry_run",
+                    gained_before=gained_before,
+                    gained_after=gained_before,
+                    imbalance_after=self.state.utilization_imbalance(),
+                ),
+                _ApplyOutcome(),
             )
 
         before_placement = self.state.placement
@@ -169,7 +348,9 @@ class CronJobController:
             problem, current, result.assignment
         )
         with tracer.span("cron.apply", steps=len(plan.steps)):
-            self._apply(plan)
+            outcome = self._apply(plan, cycle=cycle)
+        if outcome.aborted:
+            return None, outcome
 
         imbalance = self.state.utilization_imbalance()
         if self.rollback_imbalance is not None and imbalance > self.rollback_imbalance:
@@ -195,24 +376,101 @@ class CronJobController:
                     machine, self.state.clock + UNSCHEDULABLE_SECONDS
                 )
             self.default_scheduler.place_missing(self.state)
-            return CycleReport(
-                cycle=cycle,
-                action="rolled_back",
-                gained_before=gained_before,
-                gained_after=self.state.assignment().gained_affinity(normalized=True),
-                moved_containers=plan.moved_containers,
-                imbalance_after=self.state.utilization_imbalance(),
+            return (
+                self._finish_report(
+                    cycle, "rolled_back", gained_before, plan.moved_containers,
+                    outcome,
+                ),
+                outcome,
             )
 
         # Containers the plan could not move stay with the default scheduler.
         self.default_scheduler.place_missing(self.state)
+        return (
+            self._finish_report(
+                cycle, "executed", gained_before, plan.moved_containers, outcome
+            ),
+            outcome,
+        )
+
+    def _degrade(
+        self,
+        cycle: int,
+        outcome: _ApplyOutcome,
+        before_placement: np.ndarray,
+        rungs: list[str],
+        tracer,
+        logger,
+    ) -> CycleReport:
+        """Ladder rungs 2 and 3 after retries are exhausted.
+
+        The state sits at the last SLA-safe step boundary of the failed
+        attempt.  Rung 2 keeps that partial progress and lets the greedy
+        default scheduler re-solve the residual; rung 3 reverts the cycle
+        entirely and tags the machines behind the permanent failures.
+        """
+        metrics = get_metrics()
+        gained_before = Assignment(
+            self.state.problem, before_placement
+        ).gained_affinity(normalized=True)
+
+        if self.degradation.greedy_residual:
+            rungs.append("greedy")
+            metrics.counter("cron.degradation.greedy").inc()
+            placed = self.default_scheduler.place_missing(self.state)
+            tracer.event(
+                "cron.degrade", rung="greedy",
+                safe_steps=outcome.safe_steps, placed=placed,
+            )
+            logger.warning(
+                "greedy residual %s",
+                kv(cycle=cycle, safe_steps=outcome.safe_steps, placed=placed),
+            )
+            if self._sla_satisfied():
+                return self._finish_report(
+                    cycle, "degraded_greedy", gained_before,
+                    outcome.moved_at_safe, outcome,
+                )
+
+        rungs.append("skip")
+        metrics.counter("cron.degradation.skipped").inc()
+        self.state.restore(before_placement)
+        self.default_scheduler.place_missing(self.state)
+        tagged = outcome.failed_machines if self.degradation.skip_and_tag else []
+        for machine in tagged:
+            self.state.mark_unschedulable(
+                machine, self.state.clock + self.degradation.tag_seconds
+            )
+        tracer.event("cron.degrade", rung="skip", tagged_machines=len(tagged))
+        logger.warning(
+            "cycle skipped %s",
+            kv(cycle=cycle, tagged_machines=len(tagged),
+               failed_commands=outcome.failed),
+        )
+        return self._finish_report(cycle, "skipped", gained_before, 0, outcome)
+
+    def _finish_report(
+        self,
+        cycle: int,
+        action: str,
+        gained_before: float,
+        moved: int,
+        outcome: _ApplyOutcome,
+    ) -> CycleReport:
+        """Assemble a report for a resolved cycle from the live state."""
         return CycleReport(
             cycle=cycle,
-            action="executed",
+            action=action,
             gained_before=gained_before,
             gained_after=self.state.assignment().gained_affinity(normalized=True),
-            moved_containers=plan.moved_containers,
-            imbalance_after=imbalance,
+            moved_containers=moved,
+            imbalance_after=self.state.utilization_imbalance(),
+            skipped_commands=outcome.skipped,
+            failed_commands=outcome.failed,
+            command_retries=outcome.retries,
+            retry_delay_seconds=outcome.retry_delay,
+            min_alive_fraction=outcome.min_alive,
+            sla_ok=outcome.boundaries_safe,
         )
 
     def run(self, cycles: int) -> list[CycleReport]:
@@ -224,21 +482,113 @@ class CronJobController:
         return reports
 
     # ------------------------------------------------------------------
-    def _apply(self, plan) -> None:
-        """Replay a migration plan onto the live state, set by set."""
+    def _inject_machine_faults(self, cycle: int, tracer, logger) -> list[str]:
+        """Flap machines per the fault plan: cordon (and optionally kill)."""
+        if self.faults is None:
+            return []
+        self.faults.begin_cycle(cycle)
+        names = [m.name for m in self.state.problem.machines]
+        failed = self.faults.machine_failures(names)
+        if not failed:
+            return []
+        plan = self.faults.plan
+        until = self.state.clock + plan.machine_flap_cycles * self.interval_seconds
+        for name in failed:
+            self.state.mark_unschedulable(name, until)
+            if plan.kill_containers:
+                self._evict_machine(name)
+        if plan.kill_containers:
+            self.default_scheduler.place_missing(self.state)
+        tracer.event("cron.fault.machines", machines=failed, cycle=cycle)
+        logger.warning(
+            "machine flap %s",
+            kv(cycle=cycle, machines=",".join(failed),
+               kill=plan.kill_containers),
+        )
+        return failed
+
+    def _evict_machine(self, machine: str) -> None:
+        """Delete every container on a killed machine."""
+        problem = self.state.problem
+        m = problem.machine_index(machine)
+        column = self.state.placement[:, m]
+        for s in np.nonzero(column)[0]:
+            for _ in range(int(column[s])):
+                self.state.delete_container(problem.services[int(s)].name, machine)
+
+    # ------------------------------------------------------------------
+    def _apply(self, plan, cycle: int = -1) -> _ApplyOutcome:
+        """Replay a migration plan onto the live state, set by set.
+
+        Stale commands (inapplicable against the live state) are skipped,
+        counted, and logged; injected faults run the per-command retry
+        loop, and a permanent failure aborts the replay back to the last
+        SLA-safe step boundary.
+        """
         from repro.migration.plan import CommandAction
 
-        for step in plan.steps:
+        metrics = get_metrics()
+        logger = get_logger("cluster.cronjob")
+        demands = self.state.problem.demands
+        alive_floor = np.floor(plan.sla_floor * demands).astype(np.int64)
+
+        outcome = _ApplyOutcome()
+        safe_placement = self.state.placement
+        moved = 0
+        for step_index, step in enumerate(plan.steps):
             for command in step:
+                retries, delay, ok = attempt_with_retry(self.faults, self.retry)
+                outcome.retries += retries
+                outcome.retry_delay += delay
+                if not ok:
+                    outcome.failed += 1
+                    if command.machine not in outcome.failed_machines:
+                        outcome.failed_machines.append(command.machine)
+                    metrics.counter("cron.apply.failed_commands").inc()
+                    logger.warning(
+                        "command failed permanently %s",
+                        kv(cycle=cycle, step=step_index, command=str(command),
+                           retries=retries),
+                    )
+                    outcome.aborted = True
+                    self.state.restore(safe_placement)
+                    if outcome.retries:
+                        metrics.counter("cron.retry.commands").inc(outcome.retries)
+                    return outcome
                 try:
                     if command.action is CommandAction.DELETE:
                         self.state.delete_container(command.service, command.machine)
                     else:
                         self.state.create_container(command.service, command.machine)
-                except ClusterStateError:
+                        moved += 1
+                except ClusterStateError as exc:
                     # A stale snapshot can make single commands inapplicable;
                     # the default scheduler repairs the residual afterwards.
-                    continue
+                    outcome.skipped += 1
+                    metrics.counter("cron.apply.skipped_commands").inc()
+                    logger.warning(
+                        "skipped stale command %s",
+                        kv(cycle=cycle, step=step_index, command=str(command),
+                           error=str(exc)),
+                    )
+            alive = self.state.placement.sum(axis=1)
+            fraction = float((alive / np.maximum(demands, 1)).min()) if alive.size else 1.0
+            outcome.min_alive = min(outcome.min_alive, fraction)
+            if (alive >= alive_floor).all():
+                safe_placement = self.state.placement
+                outcome.safe_steps = step_index + 1
+                outcome.moved_at_safe = moved
+            else:
+                outcome.boundaries_safe = False
+        if outcome.retries:
+            metrics.counter("cron.retry.commands").inc(outcome.retries)
+        return outcome
+
+    def _sla_satisfied(self) -> bool:
+        """Whether the live state meets the integral SLA floor per service."""
+        demands = self.state.problem.demands
+        alive_floor = np.floor(self.sla_floor * demands).astype(np.int64)
+        return bool((self.state.placement.sum(axis=1) >= alive_floor).all())
 
     def _skewed_machines(self, top_fraction: float = 0.1) -> list[str]:
         """Most-utilized machines — the rollback's unschedulable targets."""

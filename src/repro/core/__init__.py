@@ -1,7 +1,7 @@
 """Core RASA problem model, objective, and the three-phase scheduler facade."""
 
 from repro.core.affinity import AffinityGraph
-from repro.core.config import RASAConfig
+from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
 from repro.core.problem import (
     AntiAffinityRule,
     Machine,
@@ -25,7 +25,9 @@ __all__ = [
     "AffinityGraph",
     "AntiAffinityRule",
     "Assignment",
+    "DegradationPolicy",
     "FeasibilityReport",
+    "RetryPolicy",
     "Machine",
     "RASAConfig",
     "RASAProblem",

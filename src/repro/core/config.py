@@ -1,8 +1,16 @@
-"""Configuration for the RASA scheduler facade."""
+"""Configuration objects: scheduler tunables and control-plane policies.
+
+:class:`RASAConfig` parameterizes the three-phase optimization pipeline;
+:class:`RetryPolicy` and :class:`DegradationPolicy` parameterize the
+fault-tolerant control plane (per-command retry with exponential backoff,
+and the cycle-level degradation ladder).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.exceptions import ProblemValidationError
 
 
 @dataclass
@@ -53,3 +61,115 @@ class RASAConfig:
     parallel: bool | None = None
     worker_timeout_factor: float = 2.0
     worker_timeout_margin: float = 5.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for faulted migration commands.
+
+    Attributes:
+        max_attempts: Total attempts per command (1 disables retries).
+        base_delay: Backoff delay (seconds) before the first retry.
+        backoff_factor: Multiplier applied per subsequent retry.
+        max_delay: Cap on any single backoff delay.
+        jitter: Fraction of the delay added as seeded random jitter
+            (``delay * (1 + jitter * u)`` with ``u`` uniform in [0, 1)).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.1
+    backoff_factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ProblemValidationError(
+                f"RetryPolicy.max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ProblemValidationError("RetryPolicy delays must be non-negative")
+
+    def delay(self, retry_index: int, jitter_draw: float = 0.0) -> float:
+        """Backoff delay before retry ``retry_index`` (0-based)."""
+        delay = min(
+            self.max_delay, self.base_delay * self.backoff_factor**retry_index
+        )
+        return delay * (1.0 + self.jitter * jitter_draw)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """The CronJob's degradation ladder for cycles that fault mid-apply.
+
+    Rungs fire in order until one resolves the cycle:
+
+    1. **retry** — revert to the pre-cycle placement and re-run the whole
+       cycle (collect → solve → apply), up to ``cycle_retries`` times.
+    2. **greedy** — keep the partial migration up to the last SLA-safe
+       step boundary and let the greedy default scheduler re-solve the
+       residual (place the still-missing containers).
+    3. **skip** — revert to the pre-cycle placement, tag the machines
+       involved in permanently failed commands unschedulable for
+       ``tag_seconds``, and skip the cycle.
+
+    Attributes:
+        cycle_retries: Full-cycle retries before degrading further.
+        greedy_residual: Whether rung 2 is enabled.
+        skip_and_tag: Whether rung 3 tags offending machines (the cycle is
+            skipped either way when rung 2 cannot restore the SLA floor).
+        tag_seconds: Unschedulable-tag duration for rung 3 (default: the
+            paper's 3-day churn guard).
+    """
+
+    cycle_retries: int = 1
+    greedy_residual: bool = True
+    skip_and_tag: bool = True
+    tag_seconds: float = 3 * 24 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.cycle_retries < 0:
+            raise ProblemValidationError(
+                f"DegradationPolicy.cycle_retries must be >= 0, "
+                f"got {self.cycle_retries}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "DegradationPolicy":
+        """Build a policy from a ladder spec like ``"retry:2,greedy,skip"``.
+
+        Each comma-separated rung enables one ladder stage; ``retry`` takes
+        an optional ``:N`` count.  Omitted rungs are disabled, so
+        ``"greedy"`` means no cycle retries and no machine tagging.
+        """
+        retries = 0
+        greedy = False
+        skip = False
+        for raw in spec.split(","):
+            rung = raw.strip().lower()
+            if not rung:
+                continue
+            if rung.startswith("retry"):
+                _, _, count = rung.partition(":")
+                retries = int(count) if count else 1
+            elif rung == "greedy":
+                greedy = True
+            elif rung == "skip":
+                skip = True
+            else:
+                raise ProblemValidationError(
+                    f"unknown degradation rung {rung!r} "
+                    f"(expected retry[:N], greedy, or skip)"
+                )
+        return cls(cycle_retries=retries, greedy_residual=greedy, skip_and_tag=skip)
+
+    def ladder(self) -> str:
+        """Canonical spec string (inverse of :meth:`parse`)."""
+        rungs = []
+        if self.cycle_retries > 0:
+            rungs.append(f"retry:{self.cycle_retries}")
+        if self.greedy_residual:
+            rungs.append("greedy")
+        if self.skip_and_tag:
+            rungs.append("skip")
+        return ",".join(rungs) or "none"

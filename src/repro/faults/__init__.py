@@ -1,0 +1,35 @@
+"""Fault injection for the control plane: seeded chaos plans and injectors.
+
+The control plane must keep the cluster SLA-safe when commands fail,
+machines flap, and monitoring data goes stale.  This package supplies the
+*chaos side* of that contract: a declarative :class:`FaultPlan` and the
+deterministic :class:`FaultInjector` that replays it.  The tolerance side
+lives in the consumers — retry/backoff and abort-and-compensate in
+:class:`~repro.migration.executor.MigrationExecutor`, the degradation
+ladder in :class:`~repro.cluster.cronjob.CronJobController`, stale/partial
+snapshots in :class:`~repro.cluster.collector.DataCollector`.
+
+Injection is opt-in per call (``injector=None`` everywhere by default) and
+the default path performs no extra RNG draws, keeping fault-free runs
+bit-identical to a build without this package.
+"""
+
+from repro.faults.injector import (
+    COMMAND_FAULT_FAIL,
+    COMMAND_FAULT_TIMEOUT,
+    SNAPSHOT_FAULT_STALE,
+    FaultInjector,
+    attempt_with_retry,
+    coerce_injector,
+)
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "COMMAND_FAULT_FAIL",
+    "COMMAND_FAULT_TIMEOUT",
+    "SNAPSHOT_FAULT_STALE",
+    "FaultInjector",
+    "FaultPlan",
+    "attempt_with_retry",
+    "coerce_injector",
+]

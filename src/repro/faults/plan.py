@@ -1,0 +1,126 @@
+"""Declarative chaos plans: which faults to inject, at what rates.
+
+A :class:`FaultPlan` is pure data — seeded rates for the three fault
+families the control plane must survive (paper Section III: the production
+CronJob runs with a dry-run gate, rollback, and unschedulable tagging
+precisely because real clusters fail mid-migration):
+
+* **command faults** — a migration command fails or times out,
+* **machine faults** — a machine flaps mid-cycle (cordoned for a few
+  cycles; optionally its containers are killed),
+* **snapshot faults** — the data collector returns a stale cycle-old
+  snapshot or drops a fraction of the traffic edges.
+
+Plans are JSON-serializable so chaos runs are reproducible artifacts
+(``rasa cron --fault-plan plan.json``).  The all-zero default plan injects
+nothing and consumes no randomness, which keeps the no-fault path
+bit-identical to a run without any plan at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+from repro.exceptions import ProblemValidationError
+
+_RATE_FIELDS = (
+    "command_failure_rate",
+    "command_timeout_rate",
+    "machine_failure_rate",
+    "stale_snapshot_rate",
+    "snapshot_drop_fraction",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic chaos specification.
+
+    Attributes:
+        seed: Seed of the injector's random stream; the same plan always
+            produces the same fault sequence against the same workload.
+        command_failure_rate: Per-attempt probability that a migration
+            command fails outright.
+        command_timeout_rate: Per-attempt probability that a migration
+            command times out (retried like a failure, counted separately).
+        machine_failure_rate: Per-cycle, per-machine probability of a flap.
+        machine_flap_cycles: How many CronJob cycles a flapped machine
+            stays cordoned (unschedulable for the optimizer).
+        kill_containers: Whether a flap also kills the machine's containers
+            (default False: a cordon-style NotReady flap that running
+            containers survive).
+        stale_snapshot_rate: Per-cycle probability the collector serves the
+            previous cycle's snapshot instead of a fresh one.
+        snapshot_drop_fraction: Fraction of traffic edges dropped from a
+            fresh snapshot (partial monitoring data); 0 disables.
+    """
+
+    seed: int = 0
+    command_failure_rate: float = 0.0
+    command_timeout_rate: float = 0.0
+    machine_failure_rate: float = 0.0
+    machine_flap_cycles: int = 1
+    kill_containers: bool = False
+    stale_snapshot_rate: float = 0.0
+    snapshot_drop_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ProblemValidationError(
+                    f"FaultPlan.{name} must be in [0, 1], got {value}"
+                )
+        if self.command_failure_rate + self.command_timeout_rate > 1.0:
+            raise ProblemValidationError(
+                "command_failure_rate + command_timeout_rate must not exceed 1"
+            )
+        if self.machine_flap_cycles < 1:
+            raise ProblemValidationError(
+                f"machine_flap_cycles must be >= 1, got {self.machine_flap_cycles}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    @property
+    def injects_commands(self) -> bool:
+        """Whether any command-level fault rate is non-zero."""
+        return self.command_failure_rate > 0.0 or self.command_timeout_rate > 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization (plans are reproducible chaos-run artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to plain data (JSON-compatible)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Deserialize a plan written by :meth:`to_dict`.
+
+        Unknown keys raise so a typoed rate cannot silently disable a
+        chaos experiment.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ProblemValidationError(
+                f"unknown FaultPlan fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    def save(self, path) -> None:
+        """Write the plan as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan written by :meth:`save` (or by hand)."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

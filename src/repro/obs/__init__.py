@@ -14,6 +14,16 @@ Naming convention (see DESIGN.md "Observability"): dotted lowercase
 ``partition.stage.master``, ``migration.batch``; metrics
 ``solver.mip.nodes``, ``rasa.phase.solve.seconds``,
 ``migration.sla_floor``.
+
+The fault-tolerant control plane (DESIGN.md §9) follows the same scheme:
+``faults.injected.*`` counters record what the injector fired
+(``command_failures``, ``command_timeouts``, ``machine_failures``,
+``stale_snapshots``, ``dropped_edges``); ``migration.retry.commands`` /
+``migration.failed_commands`` and ``cron.retry.commands`` /
+``cron.apply.{skipped,failed}_commands`` record what the consumers
+absorbed; ``cron.degradation.{retried,resolved_by_retry,greedy,skipped}``
+count ladder rungs, with matching ``cron.degrade`` / ``cron.fault.*``
+span events.
 """
 
 from repro.obs.logging import configure_logging, get_logger, kv

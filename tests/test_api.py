@@ -1,0 +1,138 @@
+"""The ``repro.api`` facade returns exactly what the class-based calls do."""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro import api
+from repro.cluster import ClusterState, CronJobController, DataCollector
+from repro.core import Assignment, RASAConfig, RASAScheduler
+from repro.core.config import DegradationPolicy, RetryPolicy
+from repro.faults import FaultPlan
+from repro.migration import MigrationExecutor, MigrationPathBuilder
+
+
+def test_facade_is_reexported_at_top_level():
+    assert repro.optimize is api.optimize
+    assert repro.plan_migration is api.plan_migration
+    assert repro.execute_plan is api.execute_plan
+    assert repro.run_control_loop is api.run_control_loop
+    assert repro.api is api
+
+
+def test_optimize_matches_scheduler(small_cluster):
+    # No time limit: solver output is bit-deterministic only when every
+    # solve finishes within its budget, and this compares two full solves.
+    problem = small_cluster.problem
+    config = RASAConfig()
+    via_facade = api.optimize(problem, config=config, time_limit=None)
+    via_class = RASAScheduler(config=RASAConfig()).schedule(
+        problem, time_limit=None
+    )
+    assert via_facade.gained_affinity == via_class.gained_affinity
+    assert np.array_equal(via_facade.assignment.x, via_class.assignment.x)
+
+
+def test_plan_migration_matches_builder(small_cluster):
+    problem = small_cluster.problem
+    start = Assignment(problem, problem.current_assignment)
+    target = api.optimize(problem, time_limit=6.0).assignment
+    via_facade = api.plan_migration(problem, start, target, sla_floor=0.75)
+    via_class = MigrationPathBuilder(sla_floor=0.75).build(problem, start, target)
+    assert via_facade.to_dict() == via_class.to_dict()
+
+
+def test_plan_migration_accepts_raw_matrices(small_cluster):
+    problem = small_cluster.problem
+    target = api.optimize(problem, time_limit=6.0).assignment
+    # Raw ndarrays coerce the same as Assignment wrappers.
+    plan = api.plan_migration(problem, problem.current_assignment, target.x)
+    assert plan.steps
+
+
+def test_execute_plan_matches_executor(small_cluster):
+    problem = small_cluster.problem
+    start = Assignment(problem, problem.current_assignment)
+    target = api.optimize(problem, time_limit=6.0).assignment
+    plan = api.plan_migration(problem, start, target)
+    via_facade = api.execute_plan(problem, start, plan)
+    via_class = MigrationExecutor(strict=True).execute(problem, start, plan)
+    assert via_facade.to_dict() == via_class.to_dict()
+
+
+def test_execute_plan_accepts_fault_dict(small_cluster):
+    problem = small_cluster.problem
+    start = Assignment(problem, problem.current_assignment)
+    target = api.optimize(problem, time_limit=6.0).assignment
+    plan = api.plan_migration(problem, start, target)
+    direct = api.execute_plan(
+        problem, start, plan, faults=FaultPlan(seed=1, command_failure_rate=0.3)
+    )
+    from_dict = api.execute_plan(
+        problem, start, plan, faults={"seed": 1, "command_failure_rate": 0.3}
+    )
+    assert direct.to_dict() == from_dict.to_dict()
+
+
+def _strip_metrics(report) -> dict:
+    payload = report.to_dict()
+    payload.pop("metrics")
+    return payload
+
+
+def test_run_control_loop_matches_controller(small_cluster):
+    # time_limit=None on both sides: run-vs-run equality needs every solve
+    # to finish within budget (see test_faults._run_loop).
+    via_facade = api.run_control_loop(
+        ClusterState(small_cluster.problem),
+        cycles=2,
+        config=RASAConfig(),
+        collector=DataCollector(small_cluster.qps, traffic_jitter_sigma=0.0),
+        time_limit=None,
+    )
+    controller = CronJobController(
+        state=ClusterState(small_cluster.problem),
+        collector=DataCollector(small_cluster.qps, traffic_jitter_sigma=0.0),
+        rasa=RASAScheduler(config=RASAConfig()),
+        time_limit=None,
+        degradation=DegradationPolicy(),
+        retry=RetryPolicy(),
+    )
+    via_class = controller.run(2)
+    assert [_strip_metrics(r) for r in via_facade] == [
+        _strip_metrics(r) for r in via_class
+    ]
+
+
+def test_run_control_loop_accepts_bare_problem(small_cluster):
+    """A RASAProblem with a current assignment wraps into a ClusterState and
+    a default collector built from its own affinity weights."""
+    reports = api.run_control_loop(
+        small_cluster.problem, cycles=1, time_limit=6.0
+    )
+    assert len(reports) == 1
+    assert reports[0].action in ("executed", "dry_run")
+
+
+def test_run_control_loop_with_faults_matches_controller(small_cluster):
+    plan = FaultPlan(seed=3, command_failure_rate=0.2)
+    via_facade = api.run_control_loop(
+        ClusterState(small_cluster.problem),
+        cycles=2,
+        collector=DataCollector(small_cluster.qps, traffic_jitter_sigma=0.0),
+        time_limit=None,
+        faults=plan,
+    )
+    from repro.faults import FaultInjector
+
+    controller = CronJobController(
+        state=ClusterState(small_cluster.problem),
+        collector=DataCollector(small_cluster.qps, traffic_jitter_sigma=0.0),
+        time_limit=None,
+        faults=FaultInjector(plan),
+    )
+    via_class = controller.run(2)
+    assert [_strip_metrics(r) for r in via_facade] == [
+        _strip_metrics(r) for r in via_class
+    ]

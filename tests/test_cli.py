@@ -76,3 +76,57 @@ def test_compare_command(trace_path, capsys):
     out = capsys.readouterr().out
     for name in ("original", "k8s+", "pop", "applsci19", "rasa"):
         assert name in out
+
+
+def test_cron_command(trace_path, capsys):
+    code = main(["cron", str(trace_path), "--cycles", "2",
+                 "--time-limit", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cycle" in out and "action" in out
+    assert "cycles: 2" in out
+
+
+def test_cron_requires_current_assignment(tmp_path, capsys, tiny_problem):
+    from repro.workloads.trace_io import save_trace
+
+    path = tmp_path / "bare.json"
+    save_trace(tiny_problem, path)
+    assert main(["cron", str(path)]) == 1
+    assert "no current assignment" in capsys.readouterr().out
+
+
+def test_cron_with_fault_plan_and_report(trace_path, tmp_path, capsys):
+    import json
+
+    from repro.cluster.cronjob import CycleReport
+    from repro.faults import FaultPlan
+
+    plan_path = tmp_path / "plan.json"
+    FaultPlan(seed=2, command_failure_rate=0.2).save(plan_path)
+    report_path = tmp_path / "report.json"
+    code = main([
+        "cron", str(trace_path), "--cycles", "2", "--time-limit", "3",
+        "--fault-plan", str(plan_path), "--report-out", str(report_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault plan:" in out
+    payload = json.loads(report_path.read_text())
+    reports = [CycleReport.from_dict(entry) for entry in payload]
+    assert [r.cycle for r in reports] == [0, 1]
+    assert all(r.sla_ok for r in reports)
+
+
+def test_cron_rejects_bad_fault_plan(trace_path, tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text('{"command_failure_rate": 7}')
+    code = main(["cron", str(trace_path), "--fault-plan", str(plan_path)])
+    assert code == 1
+    assert "could not load fault plan" in capsys.readouterr().err
+
+
+def test_cron_rejects_bad_degradation_policy(trace_path, capsys):
+    code = main(["cron", str(trace_path), "--degradation-policy", "retry,nope"])
+    assert code == 1
+    assert "invalid --degradation-policy" in capsys.readouterr().err
