@@ -1,0 +1,280 @@
+#!/usr/bin/env python
+"""Unified perf-trajectory runner: pinned suite → ``BENCH_<timestamp>.json``.
+
+The ROADMAP's "fast as the hardware allows" goal needs a measurement
+backbone: this runner executes a pinned suite (M-series evaluation
+datasets × {sequential, 4-worker} solve modes), records one trajectory
+point per (dataset, mode) — gained affinity, wall time, solver mix, peak
+RSS — and writes the whole run as ``benchmarks/results/BENCH_<ts>.json``.
+
+When a prior ``BENCH_*.json`` exists in the output directory, the new run
+is compared entry-by-entry against the newest one: a wall-time ratio
+above ``1 + --threshold`` (default 20 %) is reported as a regression and
+the process exits 3, which is what the CI perf-smoke job keys off.
+Quality is guarded too: a drop in gained affinity beyond the threshold is
+flagged the same way (solver wall time is only worth trading for
+quality, not the reverse).
+
+Usage::
+
+    python benchmarks/run_bench.py --quick          # M3 only, short budget
+    python benchmarks/run_bench.py                  # full M1-M4 suite
+    python benchmarks/run_bench.py --no-fail        # report, never exit 3
+
+``--slowdown N`` injects an artificial N-second sleep into every entry's
+timed section — a self-test hook so the regression detector itself can be
+exercised (see tests/test_run_bench.py and the acceptance criteria).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from collections import Counter
+from datetime import datetime, timezone
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct script invocation without install
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.core import RASAConfig, RASAScheduler  # noqa: E402
+from repro.workloads import load_cluster  # noqa: E402
+
+#: Schema tag written into every BENCH file (bump on breaking change).
+SCHEMA = "rasa-bench-v1"
+
+#: The pinned suites: (dataset, workers) pairs.
+FULL_SUITE = [(name, workers) for name in ("M1", "M2", "M3", "M4")
+              for workers in (1, 4)]
+QUICK_SUITE = [("M3", 1), ("M3", 4)]
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process and its pool workers."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = 0
+    for who in (resource.RUSAGE_SELF, resource.RUSAGE_CHILDREN):
+        rss = resource.getrusage(who).ru_maxrss
+        # Linux reports kilobytes; macOS reports bytes.
+        if sys.platform != "darwin":
+            rss *= 1024
+        peak = max(peak, rss)
+    return int(peak)
+
+
+def run_entry(
+    dataset: str, workers: int, time_limit: float, slowdown: float = 0.0
+) -> dict:
+    """Run one (dataset, mode) point and return its trajectory record."""
+    problem = load_cluster(dataset).problem
+    config = RASAConfig(workers=workers)
+    scheduler = RASAScheduler(config=config)
+    start = time.monotonic()
+    result = scheduler.schedule(problem, time_limit=time_limit)
+    if slowdown > 0:
+        time.sleep(slowdown)
+    wall = time.monotonic() - start
+    mix = Counter(report.selected_algorithm for report in result.reports)
+    return {
+        "dataset": dataset,
+        "mode": "sequential" if workers == 1 else f"{workers}-workers",
+        "workers": workers,
+        "gained_affinity": round(result.gained_affinity, 6),
+        "wall_seconds": round(wall, 3),
+        "solver_mix": dict(sorted(mix.items())),
+        "subproblems": len(result.partition.subproblems),
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def find_prior(results_dir: Path, exclude: Path | None = None) -> Path | None:
+    """Newest prior BENCH file by timestamped name; None when absent."""
+    candidates = sorted(
+        p for p in results_dir.glob("BENCH_*.json")
+        if exclude is None or p.resolve() != exclude.resolve()
+    )
+    return candidates[-1] if candidates else None
+
+
+def compare(entries: list[dict], prior: dict, threshold: float) -> list[dict]:
+    """Regressions of ``entries`` against a prior run's entries.
+
+    Entries are matched by (dataset, workers); unmatched entries are
+    skipped (suite membership may evolve).  A regression is a wall-time
+    increase or a gained-affinity decrease beyond ``threshold``.
+    """
+    prior_by_key = {
+        (e["dataset"], e["workers"]): e for e in prior.get("entries", [])
+    }
+    regressions: list[dict] = []
+    for entry in entries:
+        before = prior_by_key.get((entry["dataset"], entry["workers"]))
+        if before is None:
+            continue
+        if before["wall_seconds"] > 0:
+            ratio = entry["wall_seconds"] / before["wall_seconds"]
+            if ratio > 1.0 + threshold:
+                regressions.append({
+                    "dataset": entry["dataset"],
+                    "workers": entry["workers"],
+                    "kind": "wall_time",
+                    "before": before["wall_seconds"],
+                    "after": entry["wall_seconds"],
+                    "ratio": round(ratio, 3),
+                })
+        if before["gained_affinity"] > 0:
+            drop = 1.0 - entry["gained_affinity"] / before["gained_affinity"]
+            if drop > threshold:
+                regressions.append({
+                    "dataset": entry["dataset"],
+                    "workers": entry["workers"],
+                    "kind": "gained_affinity",
+                    "before": before["gained_affinity"],
+                    "after": entry["gained_affinity"],
+                    "ratio": round(1.0 - drop, 3),
+                })
+    return regressions
+
+
+def run_suite(
+    suite: list[tuple[str, int]],
+    *,
+    time_limit: float,
+    out_dir: Path,
+    threshold: float,
+    slowdown: float = 0.0,
+    do_compare: bool = True,
+) -> tuple[Path, dict]:
+    """Run the suite, write the BENCH file, and return (path, document)."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    entries = []
+    for dataset, workers in suite:
+        print(f"running {dataset} workers={workers} "
+              f"time_limit={time_limit}s ...", flush=True)
+        entry = run_entry(dataset, workers, time_limit, slowdown=slowdown)
+        print(f"  gained={entry['gained_affinity']:.4f} "
+              f"wall={entry['wall_seconds']:.2f}s "
+              f"mix={entry['solver_mix']} "
+              f"rss={entry['peak_rss_bytes'] / 1e6:.0f}MB", flush=True)
+        entries.append(entry)
+
+    document = {
+        "schema": SCHEMA,
+        "timestamp": stamp,
+        "suite": [list(pair) for pair in suite],
+        "time_limit": time_limit,
+        "cpus": _cpus(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "entries": entries,
+        "threshold": threshold,
+        "baseline_file": None,
+        "regressions": [],
+    }
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{stamp}.json"
+    prior_path = find_prior(out_dir, exclude=path) if do_compare else None
+    if prior_path is not None:
+        try:
+            prior = json.loads(prior_path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"warning: cannot read prior {prior_path.name}: {exc}",
+                  file=sys.stderr)
+            prior = None
+        if prior is not None and prior.get("schema") == SCHEMA:
+            document["baseline_file"] = prior_path.name
+            document["regressions"] = compare(entries, prior, threshold)
+
+    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return path, document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="pinned RASA perf suite -> BENCH_<timestamp>.json"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="M3-only suite with a short budget (CI smoke)")
+    parser.add_argument("--datasets", metavar="NAMES",
+                        help="comma list overriding the suite's datasets")
+    parser.add_argument("--workers-list", metavar="NS", default=None,
+                        help="comma list of worker counts (default: 1,4)")
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="per-run solver budget (default: 8, quick: 4)")
+    parser.add_argument("--out-dir", type=Path, default=DEFAULT_RESULTS_DIR,
+                        help="directory for BENCH_*.json (default: "
+                             "benchmarks/results)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression tolerance (default 0.20)")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the comparison against the prior file")
+    parser.add_argument("--no-fail", action="store_true",
+                        help="report regressions without exiting nonzero")
+    parser.add_argument("--slowdown", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="inject an artificial sleep per entry "
+                             "(self-test hook for the regression detector)")
+    args = parser.parse_args(argv)
+
+    suite = QUICK_SUITE if args.quick else FULL_SUITE
+    if args.datasets:
+        names = [n.strip() for n in args.datasets.split(",") if n.strip()]
+        workers_list = [1, 4]
+        suite = [(n, w) for n in names for w in workers_list]
+    if args.workers_list:
+        workers_list = [int(w) for w in args.workers_list.split(",")]
+        datasets = list(dict.fromkeys(name for name, _w in suite))
+        suite = [(n, w) for n in datasets for w in workers_list]
+    time_limit = args.time_limit
+    if time_limit is None:
+        time_limit = 4.0 if args.quick else 8.0
+
+    _path, document = run_suite(
+        suite,
+        time_limit=time_limit,
+        out_dir=args.out_dir,
+        threshold=args.threshold,
+        slowdown=args.slowdown,
+        do_compare=not args.no_compare,
+    )
+
+    regressions = document["regressions"]
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) vs "
+              f"{document['baseline_file']}:")
+        for reg in regressions:
+            print(f"  {reg['dataset']} workers={reg['workers']} "
+                  f"{reg['kind']}: {reg['before']} -> {reg['after']} "
+                  f"(ratio {reg['ratio']})")
+        if not args.no_fail:
+            return 3
+    elif document["baseline_file"]:
+        print(f"no regressions vs {document['baseline_file']} "
+              f"(threshold {args.threshold:.0%})")
+    else:
+        print("no prior BENCH file; recorded a fresh baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

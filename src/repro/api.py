@@ -23,6 +23,8 @@ let the underlying constructors evolve without breaking callers.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.cluster.collector import DataCollector
@@ -34,6 +36,7 @@ from repro.core.rasa import RASAResult, RASAScheduler
 from repro.core.solution import Assignment
 from repro.faults import FaultInjector, FaultPlan, coerce_injector
 from repro.migration.executor import ExecutionTrace, MigrationExecutor
+from repro.obs import JsonlStreamWriter, TelemetryHub, TelemetryServer
 from repro.migration.path import MigrationPathBuilder
 from repro.migration.plan import MigrationPlan
 
@@ -149,6 +152,10 @@ def run_control_loop(
     retry: RetryPolicy | None = None,
     traffic_jitter_sigma: float = 0.0,
     seed: int = 0,
+    telemetry_port: int | None = None,
+    telemetry_host: str = "127.0.0.1",
+    cycle_stream: "str | None" = None,
+    on_telemetry_start: "Callable[[TelemetryServer], None] | None" = None,
 ) -> list[CycleReport]:
     """Drive the CronJob control plane for ``cycles`` cycles.
 
@@ -170,6 +177,18 @@ def run_control_loop(
         retry: Backoff policy for faulted migration commands.
         traffic_jitter_sigma: Measurement drift of the default collector.
         seed: Seed of the default collector's jitter stream.
+        telemetry_port: When set, serve live telemetry for the duration of
+            the loop — ``/metrics`` (Prometheus text), ``/healthz``,
+            ``/cycles``, ``/trace`` — on this port (0 binds an ephemeral
+            one).  The server is a pure observer and is shut down before
+            returning.
+        telemetry_host: Bind address for the telemetry server (loopback by
+            default; it is plaintext and unauthenticated).
+        cycle_stream: When set, append each finished cycle's report as one
+            JSON line to this file as the loop runs.
+        on_telemetry_start: Callback invoked with the running
+            :class:`~repro.obs.server.TelemetryServer` right after it
+            binds — the way to learn an ephemeral port.
 
     Returns:
         One :class:`CycleReport` per cycle, in order.
@@ -182,6 +201,12 @@ def run_control_loop(
             traffic_jitter_sigma=traffic_jitter_sigma,
             seed=seed,
         )
+    hub = None
+    server = None
+    stream = None
+    if cycle_stream is not None or telemetry_port is not None:
+        stream = JsonlStreamWriter(cycle_stream) if cycle_stream else None
+        hub = TelemetryHub(stream=stream)
     controller = CronJobController(
         state=state,
         collector=collector,
@@ -193,5 +218,19 @@ def run_control_loop(
         faults=coerce_injector(faults),
         degradation=degradation or DegradationPolicy(),
         retry=retry or RetryPolicy(),
+        telemetry=hub,
     )
-    return controller.run(cycles)
+    if telemetry_port is None:
+        try:
+            return controller.run(cycles)
+        finally:
+            if stream is not None:
+                stream.close()
+    server = TelemetryServer(hub, port=telemetry_port, host=telemetry_host)
+    try:
+        server.start()
+        if on_telemetry_start is not None:
+            on_telemetry_start(server)
+        return controller.run(cycles)
+    finally:
+        server.stop()

@@ -36,7 +36,14 @@ from repro.analysis import pair_localization_table, placement_metrics
 from repro.core import Assignment, DegradationPolicy, RASAConfig
 from repro.exceptions import ProblemValidationError
 from repro.faults import FaultPlan
-from repro.obs import Tracer, configure_logging, get_logger, get_metrics, set_tracer
+from repro.obs import (
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_metrics,
+    render_hotspots,
+    set_tracer,
+)
 from repro.workloads import ClusterSpec, generate_cluster, load_cluster
 from repro.workloads.trace_io import load_trace, save_trace
 
@@ -70,8 +77,17 @@ def _add_parallel(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture per-span cProfile hotspot tables on partition/solve "
+             "spans (adds overhead; implies span tracing)",
+    )
+
+
 def _scheduler_config(args: argparse.Namespace) -> RASAConfig:
-    """Build the scheduler config from the parallelism CLI flags."""
+    """Build the scheduler config from the parallelism/profiling CLI flags."""
     config = RASAConfig()
     if getattr(args, "workers", None) is not None:
         if args.workers < 1:
@@ -79,6 +95,8 @@ def _scheduler_config(args: argparse.Namespace) -> RASAConfig:
         config.workers = args.workers
     if getattr(args, "parallel", False):
         config.parallel = True
+    if getattr(args, "profile", False):
+        config.profile = True
     return config
 
 
@@ -116,6 +134,7 @@ def _add_optimize(subparsers) -> None:
         help="write the metrics-registry snapshot as JSON",
     )
     _add_parallel(parser)
+    _add_profile(parser)
     _add_common(parser)
 
 
@@ -162,7 +181,20 @@ def _add_cron(subparsers) -> None:
         "--report-out",
         help="write the per-cycle reports as machine-readable JSON",
     )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        metavar="PORT",
+        help="serve live telemetry on this port for the duration of the "
+             "loop: /metrics (Prometheus), /healthz, /cycles, /trace",
+    )
+    parser.add_argument(
+        "--cycle-stream",
+        metavar="PATH",
+        help="append each finished cycle's report as one JSON line to PATH",
+    )
     _add_parallel(parser)
+    _add_profile(parser)
     _add_common(parser)
 
 
@@ -227,7 +259,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
     metrics = get_metrics()
     metrics.reset()
-    tracer = Tracer() if args.trace_out else None
+    # --profile needs live spans to attach its hotspot tables to, so it
+    # enables the tracer even without --trace-out.
+    tracer = Tracer() if (args.trace_out or args.profile) else None
     previous = set_tracer(tracer) if tracer is not None else None
     try:
         result = api.optimize(
@@ -258,8 +292,14 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             )
             out(f"migration: {plan.summary()} ({plan.moved_containers} containers)")
 
+    if args.profile and tracer is not None:
+        report = render_hotspots(tracer.finished_roots())
+        out("profile hotspots (top cumulative time per span):")
+        for line in report.splitlines():
+            out(f"  {line}")
+
     try:
-        if tracer is not None:
+        if tracer is not None and args.trace_out:
             tracer.export(args.trace_out)
             out(f"wrote trace to {args.trace_out}")
         if args.metrics_out:
@@ -347,15 +387,35 @@ def cmd_cron(args: argparse.Namespace) -> int:
         print(f"error: invalid --degradation-policy: {exc}", file=sys.stderr)
         return 1
 
-    reports = api.run_control_loop(
-        problem,
-        cycles=args.cycles,
-        config=_scheduler_config(args),
-        faults=faults,
-        time_limit=args.time_limit,
-        sla_floor=args.sla_floor,
-        degradation=degradation,
-    )
+    if args.telemetry_port is not None and args.telemetry_port < 0:
+        print("error: --telemetry-port must be >= 0", file=sys.stderr)
+        return 1
+    # Profiling (and the /trace endpoint) need live spans, so either flag
+    # installs a tracer for the duration of the loop.
+    tracer = Tracer() if (args.profile or args.telemetry_port is not None) else None
+    previous = set_tracer(tracer) if tracer is not None else None
+
+    def announce(server) -> None:
+        out(f"telemetry: {server.url} (/metrics /healthz /cycles /trace)")
+
+    try:
+        reports = api.run_control_loop(
+            problem,
+            cycles=args.cycles,
+            config=_scheduler_config(args),
+            faults=faults,
+            time_limit=args.time_limit,
+            sla_floor=args.sla_floor,
+            degradation=degradation,
+            telemetry_port=args.telemetry_port,
+            cycle_stream=args.cycle_stream,
+            on_telemetry_start=(
+                announce if args.telemetry_port is not None else None
+            ),
+        )
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
 
     out(f"{'cycle':>5s} {'action':16s} {'gained':>8s} {'moved':>6s} "
         f"{'skipped':>8s} {'failed':>7s} {'sla':>4s}")

@@ -38,6 +38,7 @@ from repro.exceptions import ClusterStateError
 from repro.faults import FaultInjector, attempt_with_retry
 from repro.migration.path import MigrationPathBuilder
 from repro.obs import get_logger, get_metrics, get_tracer, kv
+from repro.obs.server import TelemetryHub
 
 #: The paper's churn gate: execute only on > 3 % gained-affinity improvement.
 IMPROVEMENT_GATE = 0.03
@@ -182,6 +183,11 @@ class CronJobController:
             fault-free control loop.
         degradation: The ladder walked when a cycle's migration aborts.
         retry: Backoff policy for faulted migration commands.
+        telemetry: Optional :class:`~repro.obs.server.TelemetryHub` each
+            finished cycle is published to (live ``/healthz``/``/cycles``
+            endpoints and the JSONL cycle stream).  A pure observer: it
+            never feeds back into the loop, so attaching one leaves the
+            report sequence bit-identical.
         history: Reports of every cycle run so far.
     """
 
@@ -199,6 +205,7 @@ class CronJobController:
     faults: FaultInjector | None = None
     degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    telemetry: "TelemetryHub | None" = None
     history: list[CycleReport] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -229,6 +236,8 @@ class CronJobController:
             ),
         )
         self.history.append(report)
+        if self.telemetry is not None:
+            self.telemetry.publish_cycle(report)
         return report
 
     def _run_cycle(self, cycle: int, tracer, logger) -> CycleReport:

@@ -47,6 +47,12 @@ class RASAConfig:
             backstop; see :class:`~repro.core.parallel.ParallelDispatcher`).
         worker_timeout_margin: Constant slack (seconds) added to every
             parallel task deadline.
+        profile: Opt-in per-span cProfile capture (CLI ``--profile``):
+            partitioning and subproblem-solve spans gain a top-N
+            cumulative-time hotspot table (see :mod:`repro.obs.profile`).
+            Off by default — cProfile instruments every Python call, so
+            expect 1.3–2x overhead on solver-heavy spans when enabled.
+        profile_top: Rows kept in each span's hotspot table.
     """
 
     master_ratio: float | None = None
@@ -61,6 +67,8 @@ class RASAConfig:
     parallel: bool | None = None
     worker_timeout_factor: float = 2.0
     worker_timeout_margin: float = 5.0
+    profile: bool = False
+    profile_top: int = 10
 
 
 @dataclass(frozen=True)

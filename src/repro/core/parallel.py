@@ -40,14 +40,18 @@ from repro.core.problem import RASAProblem
 from repro.core.solution import Assignment
 from repro.obs import (
     MetricsRegistry,
+    NullProfiler,
     NullTracer,
     Span,
+    SpanProfiler,
     Tracer,
     get_logger,
     get_metrics,
+    get_profiler,
     get_tracer,
     kv,
     use_metrics,
+    use_profiler,
     use_tracer,
 )
 from repro.partitioning.base import Subproblem
@@ -87,6 +91,10 @@ class SubproblemTask:
             ``inf`` for unlimited).
         collect_spans: Record and return tracing spans (enabled when the
             parent's tracer is live).
+        profile: Capture a cProfile hotspot table on the worker's solve
+            span (see :mod:`repro.obs.profile`); the table rides the span
+            tree back to the parent through ``TaskOutcome.spans``.
+        profile_top: Rows kept in the worker's hotspot tables.
     """
 
     index: int
@@ -95,6 +103,8 @@ class SubproblemTask:
     algorithm_factory: Callable[[str], SchedulingAlgorithm]
     budget: float | None = None
     collect_spans: bool = False
+    profile: bool = False
+    profile_top: int = 10
 
 
 @dataclass
@@ -175,7 +185,8 @@ def select_and_solve(
         budget=None if budget is None or budget == np.inf else budget,
         services=subproblem.num_services,
     ) as span:
-        result = algorithm.solve(subproblem.problem, time_limit=budget)
+        with get_profiler().capture(span):
+            result = algorithm.solve(subproblem.problem, time_limit=budget)
         span.set_tag("status", result.status)
         span.set_tag("objective", result.objective)
     metrics.histogram("rasa.phase.solve.seconds").observe(solve_clock.elapsed)
@@ -193,7 +204,10 @@ def run_task(task: SubproblemTask) -> TaskOutcome:
     started = time.monotonic()
     tracer = Tracer() if task.collect_spans else NullTracer()
     registry = MetricsRegistry()
-    with use_tracer(tracer), use_metrics(registry):
+    profiler = (
+        SpanProfiler(top=task.profile_top) if task.profile else NullProfiler()
+    )
+    with use_tracer(tracer), use_metrics(registry), use_profiler(profiler):
         label, result = select_and_solve(
             task.subproblem, task.selector, task.algorithm_factory, task.budget
         )

@@ -37,7 +37,15 @@ from repro.core.parallel import (
 )
 from repro.core.problem import RASAProblem
 from repro.core.solution import Assignment
-from repro.obs import get_logger, get_metrics, get_tracer, kv
+from repro.obs import (
+    SpanProfiler,
+    get_logger,
+    get_metrics,
+    get_profiler,
+    get_tracer,
+    kv,
+    use_profiler,
+)
 from repro.partitioning.base import PartitionResult, Partitioner, Subproblem
 from repro.partitioning.multistage import MultiStagePartitioner
 from repro.selection.selector import AlgorithmSelector, HeuristicSelector
@@ -145,6 +153,19 @@ class RASAScheduler:
         Returns:
             The merged placement plus per-phase diagnostics.
         """
+        if not self.config.profile:
+            return self._schedule(problem, time_limit)
+        # Opt-in hotspot attribution: install a span profiler for the run
+        # so partition/solve spans carry top-N cProfile tables.
+        with use_profiler(SpanProfiler(top=self.config.profile_top)):
+            return self._schedule(problem, time_limit)
+
+    def _schedule(
+        self,
+        problem: RASAProblem,
+        time_limit: float | None = None,
+    ) -> RASAResult:
+        """The pipeline body behind :meth:`schedule`."""
         tracer = get_tracer()
         metrics = get_metrics()
         logger = get_logger("core.rasa")
@@ -156,7 +177,8 @@ class RASAScheduler:
             time_limit=time_limit,
         ) as run_span:
             with tracer.span("rasa.partition") as span:
-                partition = self.partitioner.partition(problem)
+                with get_profiler().capture(span):
+                    partition = self.partitioner.partition(problem)
                 span.set_tag("subproblems", len(partition.subproblems))
                 span.set_tag("affinity_retained", partition.affinity_retained)
             metrics.histogram("rasa.phase.partition.seconds").observe(watch.elapsed)
@@ -311,7 +333,11 @@ class RASAScheduler:
                     selector=self.selector,
                     algorithm_factory=factory,
                     budget=budget,
-                    collect_spans=tracer.enabled,
+                    # Worker hotspot tables ride the span trees, so
+                    # profiling in workers requires span collection.
+                    collect_spans=tracer.enabled or self.config.profile,
+                    profile=self.config.profile,
+                    profile_top=self.config.profile_top,
                 )
             )
         dispatcher = ParallelDispatcher(

@@ -1,6 +1,6 @@
-"""Observability layer: tracing spans, metrics, and structured logging.
+"""Observability layer: spans, metrics, logging, exposition, telemetry.
 
-Three independent pieces with one import surface:
+Independent pieces with one import surface:
 
 * :mod:`repro.obs.spans` — hierarchical span tracer (Chrome trace-event
   export, plain-text summary tree); the process default is a no-op
@@ -8,6 +8,14 @@ Three independent pieces with one import surface:
 * :mod:`repro.obs.metrics` — always-on counters/gauges/histograms behind
   a process-wide :class:`MetricsRegistry` with a JSON snapshot API.
 * :mod:`repro.obs.logging` — ``repro.*`` structured-logger convention.
+* :mod:`repro.obs.export` — Prometheus text exposition for a metrics
+  snapshot and an append-only JSONL stream writer for per-cycle records.
+* :mod:`repro.obs.server` — stdlib HTTP telemetry endpoint
+  (``/metrics``, ``/healthz``, ``/cycles``, ``/trace``) the control loop
+  attaches via a :class:`TelemetryHub`.
+* :mod:`repro.obs.profile` — opt-in per-span cProfile capture attaching
+  top-N hotspot tables to solver and partitioning spans; the process
+  default is a no-op :class:`NullProfiler`.
 
 Naming convention (see DESIGN.md "Observability"): dotted lowercase
 ``<layer>.<what>[.<unit>]`` — e.g. spans ``rasa.solve``,
@@ -26,6 +34,12 @@ count ladder rungs, with matching ``cron.degrade`` / ``cron.fault.*``
 span events.
 """
 
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    JsonlStreamWriter,
+    sanitize_metric_name,
+    to_prometheus,
+)
 from repro.obs.logging import configure_logging, get_logger, kv
 from repro.obs.metrics import (
     Counter,
@@ -36,6 +50,15 @@ from repro.obs.metrics import (
     set_metrics,
     use_metrics,
 )
+from repro.obs.profile import (
+    NullProfiler,
+    SpanProfiler,
+    get_profiler,
+    render_hotspots,
+    set_profiler,
+    use_profiler,
+)
+from repro.obs.server import TelemetryHub, TelemetryServer
 from repro.obs.spans import (
     NullTracer,
     Span,
@@ -46,20 +69,32 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlStreamWriter",
     "MetricsRegistry",
+    "NullProfiler",
     "NullTracer",
     "Span",
+    "SpanProfiler",
+    "TelemetryHub",
+    "TelemetryServer",
     "Tracer",
     "configure_logging",
     "get_logger",
     "get_metrics",
+    "get_profiler",
     "get_tracer",
     "kv",
+    "render_hotspots",
+    "sanitize_metric_name",
     "set_metrics",
+    "set_profiler",
     "set_tracer",
+    "to_prometheus",
     "use_metrics",
+    "use_profiler",
     "use_tracer",
 ]

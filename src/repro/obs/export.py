@@ -1,0 +1,158 @@
+"""Metric and event exposition: Prometheus text format and JSONL streams.
+
+Two live-telemetry complements to the dump-at-exit exports that already
+exist (Chrome trace-event JSON via :meth:`~repro.obs.spans.Tracer.export`,
+metrics-snapshot JSON via :meth:`~repro.obs.metrics.MetricsRegistry.export`):
+
+* :func:`to_prometheus` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot in the Prometheus text exposition format (version 0.0.4), the
+  payload the telemetry server's ``/metrics`` endpoint serves.  Dotted
+  instrument names are sanitized to the Prometheus grammar, counters gain
+  the conventional ``_total`` suffix, and histograms map to summaries
+  (``{quantile="0.5"|"0.95"}`` series plus ``_count``/``_sum``) with the
+  exact ``min``/``max`` exposed as companion gauges.
+* :class:`JsonlStreamWriter` appends one JSON object per line to a file as
+  records close — the CronJob control loop streams each
+  :class:`~repro.cluster.cronjob.CycleReport` through it, so a crashed or
+  killed loop still leaves every finished cycle on disk.
+
+Both are dependency-free (stdlib only) and deterministic: keys are sorted
+and series are emitted in sorted name order, which is what the golden-file
+tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from typing import Any, Mapping
+
+#: Characters legal in a Prometheus metric name body.
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The quantiles a histogram summary exposes (matching ``summarize()``).
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce a dotted instrument name into the Prometheus grammar.
+
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*`` — every illegal character (dots
+    included) becomes ``_``, and a leading digit gains a ``_`` prefix:
+    ``rasa.phase.solve.seconds`` → ``rasa_phase_solve_seconds``.
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: shortest round-trip float, inf/nan spelled."""
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def to_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a metrics snapshot as Prometheus text exposition format.
+
+    Args:
+        snapshot: A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+            dict (``counters``/``gauges``/``histograms``).
+
+    Returns:
+        The exposition body, one ``# TYPE`` block per instrument, series
+        in sorted-name order, terminated by a newline.
+    """
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        metric = sanitize_metric_name(name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in _QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_format_value(summary.get(key, 0.0))}"
+            )
+        lines.append(f"{metric}_count {_format_value(summary.get('count', 0))}")
+        lines.append(f"{metric}_sum {_format_value(summary.get('sum', 0.0))}")
+        # min/max are not part of the summary type; expose them as
+        # companion gauges so the exact extrema survive scraping.
+        for extremum in ("min", "max"):
+            lines.append(f"# TYPE {metric}_{extremum} gauge")
+            lines.append(
+                f"{metric}_{extremum} {_format_value(summary.get(extremum, 0.0))}"
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+#: Content type the Prometheus text format is served under.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class JsonlStreamWriter:
+    """Append-only JSON-lines writer for per-cycle telemetry records.
+
+    Each :meth:`write` appends exactly one JSON object on one line (keys
+    sorted, no embedded newlines) and flushes, so a consumer tailing the
+    file — or a post-mortem after a killed control loop — always sees a
+    prefix of complete records.  Thread-safe: the control loop and the
+    telemetry server may share a writer.
+    """
+
+    def __init__(self, path, *, append: bool = True) -> None:
+        self.path = path
+        self._handle = open(path, "a" if append else "w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._records = 0
+
+    @property
+    def records_written(self) -> int:
+        """Records appended through this writer (not pre-existing lines)."""
+        return self._records
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        """Append one record as a single JSON line and flush."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                          default=str)
+        with self._lock:
+            if self._handle.closed:
+                raise ValueError(f"stream writer for {self.path} is closed")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self._records += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

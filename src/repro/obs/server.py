@@ -1,0 +1,245 @@
+"""Live telemetry endpoint for the control loop (stdlib HTTP, no deps).
+
+Production operators watch a half-hourly control loop live rather than
+post-mortem, so the CronJob controller can attach a
+:class:`TelemetryServer` — a :class:`~http.server.ThreadingHTTPServer`
+running in a daemon thread — and expose:
+
+* ``GET /metrics`` — the process :class:`~repro.obs.metrics.MetricsRegistry`
+  in Prometheus text format (:func:`~repro.obs.export.to_prometheus`).
+* ``GET /healthz`` — JSON health derived from the latest
+  :class:`~repro.cluster.cronjob.CycleReport`: ``sla_ok``, the
+  degradation-ladder ``rungs`` fired, the resolving ``action``, and an
+  overall ``status`` (``idle`` → ``ok`` / ``degraded`` / ``sla_violated``).
+  Responds 503 when the SLA floor is violated so a plain
+  ``curl -f`` works as a health probe.
+* ``GET /cycles`` — every published cycle report as a JSON array.
+* ``GET /trace`` — the live Chrome trace-event document when a real
+  tracer is installed (empty ``traceEvents`` otherwise).
+
+State flows through a :class:`TelemetryHub`: the controller calls
+:meth:`TelemetryHub.publish_cycle` as each cycle closes, which also
+appends the report to an optional
+:class:`~repro.obs.export.JsonlStreamWriter`.  The hub and server are
+strictly additive observers — they never feed back into the solve path,
+so an attached server leaves solver output and report sequences
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    JsonlStreamWriter,
+    to_prometheus,
+)
+from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.spans import get_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster -> obs)
+    from repro.cluster.cronjob import CycleReport
+
+
+class TelemetryHub:
+    """Thread-safe store of control-loop telemetry the server reads from.
+
+    Args:
+        stream: Optional JSONL writer that every published cycle report is
+            appended to as it closes (the ``--cycle-stream`` file).
+    """
+
+    def __init__(self, stream: JsonlStreamWriter | None = None) -> None:
+        self._lock = threading.Lock()
+        self._cycles: list[dict[str, Any]] = []
+        self.stream = stream
+
+    # ------------------------------------------------------------------
+    def publish_cycle(self, report: "CycleReport") -> None:
+        """Record one finished cycle (and stream it, when configured)."""
+        payload = report.to_dict()
+        with self._lock:
+            self._cycles.append(payload)
+        if self.stream is not None:
+            self.stream.write({"kind": "cycle", **payload})
+
+    def cycles(self) -> list[dict[str, Any]]:
+        """Every published cycle report, in order."""
+        with self._lock:
+            return list(self._cycles)
+
+    def health(self) -> dict[str, Any]:
+        """Health summary derived from the latest published cycle.
+
+        ``status`` is ``"idle"`` before the first cycle, ``"sla_violated"``
+        when the latest cycle broke the SLA floor, ``"degraded"`` when it
+        held the floor but needed degradation-ladder rungs, and ``"ok"``
+        otherwise.
+        """
+        with self._lock:
+            latest = self._cycles[-1] if self._cycles else None
+            count = len(self._cycles)
+        if latest is None:
+            return {"status": "idle", "cycles": 0, "sla_ok": None,
+                    "rungs": [], "action": None, "gained_affinity": None}
+        sla_ok = bool(latest["sla_ok"])
+        rungs = list(latest["rungs"])
+        if not sla_ok:
+            status = "sla_violated"
+        elif rungs:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "cycles": count,
+            "cycle": latest["cycle"],
+            "sla_ok": sla_ok,
+            "rungs": rungs,
+            "action": latest["action"],
+            "gained_affinity": latest["gained_after"],
+            "min_alive_fraction": latest["min_alive_fraction"],
+        }
+
+
+class _TelemetryRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four telemetry endpoints; everything else is 404."""
+
+    # Served responses are tiny; keep connections simple.
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = to_prometheus(server.registry_snapshot())
+            self._respond(200, PROMETHEUS_CONTENT_TYPE, body.encode("utf-8"))
+        elif path == "/healthz":
+            health = server.hub.health()
+            code = 503 if health["status"] == "sla_violated" else 200
+            self._respond_json(code, health)
+        elif path == "/cycles":
+            self._respond_json(200, server.hub.cycles())
+        elif path == "/trace":
+            self._respond_json(200, server.trace_document())
+        else:
+            self._respond_json(404, {"error": f"unknown path {path!r}"})
+
+    def _respond_json(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._respond(code, "application/json; charset=utf-8", body)
+
+    def _respond(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logs through ``repro.obs.server`` instead of stderr."""
+        get_logger("obs.server").debug("%s %s", self.address_string(),
+                                       format % args)
+
+
+class TelemetryServer:
+    """Owns the HTTP listener thread and the telemetry data sources.
+
+    Args:
+        hub: Control-loop state to serve; a fresh empty hub by default.
+        registry: Metrics source for ``/metrics``; None resolves the
+            process-wide registry *at scrape time* (so worker-payload
+            merges are visible).
+        port: TCP port; 0 binds an ephemeral port (see :attr:`port` after
+            :meth:`start`).
+        host: Bind address (loopback by default — telemetry is
+            plaintext and unauthenticated, so keep it local unless fronted
+            by something that is not).
+    """
+
+    def __init__(
+        self,
+        hub: TelemetryHub | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.hub = hub or TelemetryHub()
+        self._registry = registry
+        self._host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def registry_snapshot(self) -> dict[str, Any]:
+        """Snapshot of the configured (or process-wide) metrics registry."""
+        registry = self._registry or get_metrics()
+        return registry.snapshot()
+
+    def trace_document(self) -> dict[str, Any]:
+        """Live Chrome trace-event document from the process tracer."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        return tracer.to_chrome()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (meaningful after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> int:
+        """Bind and serve in a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port
+        httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), _TelemetryRequestHandler
+        )
+        httpd.daemon_threads = True
+        httpd.telemetry = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="rasa-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        get_logger("obs.server").info(
+            "telemetry server up %s", kv(url=self.url)
+        )
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the listener down and join its thread (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = None
+        self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if self.hub.stream is not None:
+            self.hub.stream.close()
+
+    def __enter__(self) -> "TelemetryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -161,6 +161,12 @@ class Tracer:
         stack.append(span)
         try:
             yield span
+        except BaseException as exc:
+            # Tag the failure so exports and summaries can render the span
+            # distinctly; the exception itself propagates unchanged.
+            span.tags["error"] = True
+            span.tags["error_type"] = type(exc).__name__
+            raise
         finally:
             span.end = self._now()
             stack.pop()
@@ -237,17 +243,19 @@ class Tracer:
                     }
                 )
                 return
-            trace_events.append(
-                {
-                    "name": span.name,
-                    "ph": "X",
-                    "ts": span.start * 1e6,
-                    "dur": max(span.duration, 0.0) * 1e6,
-                    "pid": 0,
-                    "tid": span.thread_id,
-                    "args": _jsonable(span.tags),
-                }
-            )
+            duration_event: dict[str, Any] = {
+                "name": span.name,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(span.duration, 0.0) * 1e6,
+                "pid": 0,
+                "tid": span.thread_id,
+                "args": _jsonable(span.tags),
+            }
+            if span.tags.get("error"):
+                # Chrome/Perfetto reserved color: failed spans render red.
+                duration_event["cname"] = "terrible"
+            trace_events.append(duration_event)
             for ts, name, tags in span.events:
                 trace_events.append(
                     {
@@ -282,7 +290,8 @@ class Tracer:
                 inner = ", ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
                 tags = f"  [{inner}]"
             marker = "@" if span.instant else f"{span.duration * 1e3:8.2f}ms"
-            lines.append(f"{'  ' * depth}{marker}  {span.name}{tags}")
+            failed = "!FAILED " if span.tags.get("error") else ""
+            lines.append(f"{'  ' * depth}{marker}  {failed}{span.name}{tags}")
             for ts, name, tags_ in span.events:
                 lines.append(f"{'  ' * (depth + 1)}@{ts * 1e3:.2f}ms  {name} {tags_}")
             for child in span.children:

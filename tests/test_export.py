@@ -1,0 +1,165 @@
+"""Tests for exposition formats: Prometheus text output and JSONL streams."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlStreamWriter,
+    MetricsRegistry,
+    sanitize_metric_name,
+    to_prometheus,
+)
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+
+
+# ----------------------------------------------------------------------
+# Metric-name sanitization
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("raw,expected", [
+    ("rasa.phase.solve.seconds", "rasa_phase_solve_seconds"),
+    ("already_legal", "already_legal"),
+    ("with:colons", "with:colons"),
+    ("dash-and space", "dash_and_space"),
+    ("9leading.digit", "_9leading_digit"),
+    ("", "_"),
+])
+def test_sanitize_metric_name(raw, expected):
+    assert sanitize_metric_name(raw) == expected
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition (golden file)
+# ----------------------------------------------------------------------
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("rasa.subproblems.solved").inc(7)
+    registry.counter("solver.cg.columns_total").inc(42)
+    registry.gauge("cron.cycle").set(3)
+    hist = registry.histogram("rasa.phase.solve.seconds")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        hist.observe(v)
+    return registry
+
+
+GOLDEN = """\
+# TYPE rasa_subproblems_solved_total counter
+rasa_subproblems_solved_total 7.0
+# TYPE solver_cg_columns_total counter
+solver_cg_columns_total 42.0
+# TYPE cron_cycle gauge
+cron_cycle 3.0
+# TYPE rasa_phase_solve_seconds summary
+rasa_phase_solve_seconds{quantile="0.5"} 3.0
+rasa_phase_solve_seconds{quantile="0.95"} 4.0
+rasa_phase_solve_seconds_count 4.0
+rasa_phase_solve_seconds_sum 10.0
+# TYPE rasa_phase_solve_seconds_min gauge
+rasa_phase_solve_seconds_min 1.0
+# TYPE rasa_phase_solve_seconds_max gauge
+rasa_phase_solve_seconds_max 4.0
+"""
+
+
+def test_to_prometheus_matches_golden_output():
+    assert to_prometheus(_golden_registry().snapshot()) == GOLDEN
+
+
+def test_to_prometheus_counters_gain_total_suffix_once():
+    body = to_prometheus(_golden_registry().snapshot())
+    # Pre-suffixed counters are not double-suffixed.
+    assert "solver_cg_columns_total 42.0" in body
+    assert "columns_total_total" not in body
+
+
+def test_to_prometheus_is_deterministic_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc()
+    body = to_prometheus(registry.snapshot())
+    assert body.index("a_total") < body.index("b_total")
+    assert body == to_prometheus(registry.snapshot())
+    assert body.endswith("\n")
+
+
+def test_to_prometheus_empty_snapshot_is_single_newline():
+    assert to_prometheus(MetricsRegistry().snapshot()) == "\n"
+
+
+def test_to_prometheus_spells_non_finite_values():
+    registry = MetricsRegistry()
+    registry.gauge("inf").set(float("inf"))
+    registry.gauge("ninf").set(float("-inf"))
+    registry.gauge("nan").set(float("nan"))
+    body = to_prometheus(registry.snapshot())
+    assert "inf +Inf" in body
+    assert "ninf -Inf" in body
+    assert "nan NaN" in body
+
+
+def test_prometheus_content_type_declares_format_version():
+    assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+# ----------------------------------------------------------------------
+# JSONL stream writer
+# ----------------------------------------------------------------------
+def test_jsonl_writer_one_valid_object_per_line(tmp_path):
+    path = tmp_path / "cycles.jsonl"
+    with JsonlStreamWriter(path) as writer:
+        writer.write({"cycle": 0, "action": "migrated"})
+        writer.write({"cycle": 1, "action": "skipped", "nested": {"a": [1, 2]}})
+        assert writer.records_written == 2
+
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert records[0]["cycle"] == 0
+    assert records[1]["nested"] == {"a": [1, 2]}
+
+
+def test_jsonl_writer_stable_key_order(tmp_path):
+    path = tmp_path / "out.jsonl"
+    with JsonlStreamWriter(path) as writer:
+        writer.write({"zebra": 1, "alpha": 2, "mid": 3})
+    line = path.read_text().splitlines()[0]
+    assert line == '{"alpha":2,"mid":3,"zebra":1}'
+
+
+def test_jsonl_writer_appends_by_default(tmp_path):
+    path = tmp_path / "out.jsonl"
+    with JsonlStreamWriter(path) as writer:
+        writer.write({"run": 1})
+    with JsonlStreamWriter(path) as writer:
+        writer.write({"run": 2})
+        assert writer.records_written == 1  # this writer's records only
+    runs = [json.loads(line)["run"] for line in path.read_text().splitlines()]
+    assert runs == [1, 2]
+
+
+def test_jsonl_writer_truncate_mode(tmp_path):
+    path = tmp_path / "out.jsonl"
+    with JsonlStreamWriter(path) as writer:
+        writer.write({"run": 1})
+    with JsonlStreamWriter(path, append=False) as writer:
+        writer.write({"run": 2})
+    runs = [json.loads(line)["run"] for line in path.read_text().splitlines()]
+    assert runs == [2]
+
+
+def test_jsonl_writer_write_after_close_raises(tmp_path):
+    writer = JsonlStreamWriter(tmp_path / "out.jsonl")
+    writer.close()
+    writer.close()  # idempotent
+    with pytest.raises(ValueError, match="closed"):
+        writer.write({"x": 1})
+
+
+def test_jsonl_writer_stringifies_unknown_types(tmp_path):
+    path = tmp_path / "out.jsonl"
+    with JsonlStreamWriter(path) as writer:
+        writer.write({"path": tmp_path})
+    record = json.loads(path.read_text())
+    assert record["path"] == str(tmp_path)

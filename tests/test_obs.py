@@ -117,6 +117,52 @@ def test_use_tracer_restores_previous():
 
 
 # ----------------------------------------------------------------------
+# Span failure status
+# ----------------------------------------------------------------------
+def test_span_tags_error_on_raise():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+    root = tracer.finished_roots()[0]
+    doomed = root.children[0]
+    assert doomed.tags["error"] is True
+    assert doomed.tags["error_type"] == "RuntimeError"
+    # The exception bubbled through the parent, so it is tagged too...
+    assert root.tags["error"] is True
+    # ...but a sibling that never raised stays clean.
+    with tracer.span("fine"):
+        pass
+    assert "error" not in tracer.finished_roots()[1].tags
+
+
+def test_failed_spans_render_distinctly_in_summary():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("bad"):
+            raise ValueError("nope")
+    with tracer.span("good"):
+        pass
+    lines = tracer.summary().splitlines()
+    assert any("!FAILED" in line and "bad" in line for line in lines)
+    assert not any("!FAILED" in line and "good" in line for line in lines)
+
+
+def test_failed_spans_colored_in_chrome_export():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("bad"):
+            raise ValueError("nope")
+    with tracer.span("good"):
+        pass
+    by_name = {e["name"]: e for e in tracer.to_chrome()["traceEvents"]}
+    assert by_name["bad"]["cname"] == "terrible"
+    assert by_name["bad"]["args"]["error_type"] == "ValueError"
+    assert "cname" not in by_name["good"]
+
+
+# ----------------------------------------------------------------------
 # Metrics
 # ----------------------------------------------------------------------
 def test_counter_gauge_roundtrip():
@@ -149,6 +195,98 @@ def test_histogram_empty_summary_is_zeroes():
     summary = registry.snapshot()["histograms"]["empty"]
     assert summary == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
                        "p50": 0.0, "p95": 0.0}
+
+
+def test_counter_inc_is_thread_safe():
+    registry = MetricsRegistry()
+    counter = registry.counter("contended")
+
+    def work() -> None:
+        for _ in range(10_000):
+            counter.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 80_000.0
+
+
+def test_histogram_memory_is_bounded_with_exact_stats():
+    from repro.obs.metrics import Histogram
+
+    hist = Histogram(sample_cap=100)
+    n = 10_000
+    for v in range(1, n + 1):
+        hist.observe(float(v))
+    assert len(hist.values) == 100  # reservoir never exceeds the cap
+    summary = hist.summarize()
+    # count/sum/min/max stay exact past the cap...
+    assert summary["count"] == n
+    assert summary["sum"] == pytest.approx(n * (n + 1) / 2)
+    assert summary["min"] == 1.0
+    assert summary["max"] == float(n)
+    # ...and sampled percentiles stay representative.
+    assert abs(summary["p50"] - n / 2) < n * 0.25
+    assert summary["p95"] > summary["p50"]
+
+
+def test_histogram_reservoir_is_deterministic():
+    from repro.obs.metrics import Histogram
+
+    def fill() -> list[float]:
+        hist = Histogram(sample_cap=50)
+        for v in range(1000):
+            hist.observe(float(v))
+        return list(hist.values)
+
+    assert fill() == fill()
+
+
+def test_histogram_exact_below_cap():
+    from repro.obs.metrics import Histogram
+
+    hist = Histogram(sample_cap=100)
+    for v in range(1, 51):
+        hist.observe(float(v))
+    assert sorted(hist.values) == [float(v) for v in range(1, 51)]
+    assert hist.summarize()["p50"] == pytest.approx(25.0, abs=1.0)
+
+
+def test_histogram_rejects_non_positive_cap():
+    from repro.obs.metrics import Histogram
+
+    with pytest.raises(ValueError, match="sample_cap"):
+        Histogram(sample_cap=0)
+
+
+def test_registry_merge_accepts_dict_and_legacy_list_payloads():
+    source = MetricsRegistry()
+    source.counter("c").inc(3)
+    source.gauge("g").set(7.0)
+    for v in (1.0, 2.0, 3.0):
+        source.histogram("h").observe(v)
+
+    target = MetricsRegistry()
+    target.counter("c").inc(1)
+    target.histogram("h").observe(10.0)
+    target.merge(source.dump_raw())
+
+    snap = target.snapshot()
+    assert snap["counters"]["c"] == 4.0
+    assert snap["gauges"]["g"] == 7.0
+    assert snap["histograms"]["h"]["count"] == 4
+    assert snap["histograms"]["h"]["sum"] == pytest.approx(16.0)
+    assert snap["histograms"]["h"]["min"] == 1.0
+    assert snap["histograms"]["h"]["max"] == 10.0
+
+    # A legacy raw-list payload (pre-dict dump shape) folds the same way.
+    legacy = MetricsRegistry()
+    legacy.merge({"histograms": {"h": [5.0, 6.0]}})
+    summary = legacy.snapshot()["histograms"]["h"]
+    assert summary["count"] == 2
+    assert summary["sum"] == pytest.approx(11.0)
 
 
 def test_registry_reset_and_export(tmp_path):

@@ -1,0 +1,174 @@
+"""Tests for the perf-trajectory harness (benchmarks/run_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "run_bench.py"
+_spec = importlib.util.spec_from_file_location("run_bench", _BENCH_PATH)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def _entry(dataset="M3", workers=1, wall=2.0, gained=0.8) -> dict:
+    return {
+        "dataset": dataset,
+        "mode": "sequential" if workers == 1 else f"{workers}-workers",
+        "workers": workers,
+        "gained_affinity": gained,
+        "wall_seconds": wall,
+        "solver_mix": {"cg": 1},
+        "subproblems": 4,
+        "peak_rss_bytes": 1,
+    }
+
+
+# ----------------------------------------------------------------------
+# find_prior
+# ----------------------------------------------------------------------
+def test_find_prior_empty_dir(tmp_path):
+    assert bench.find_prior(tmp_path) is None
+
+
+def test_find_prior_newest_by_name_excluding_self(tmp_path):
+    old = tmp_path / "BENCH_20260101T000000Z.json"
+    new = tmp_path / "BENCH_20260201T000000Z.json"
+    current = tmp_path / "BENCH_20260301T000000Z.json"
+    for p in (old, new, current):
+        p.write_text("{}")
+    (tmp_path / "notes.json").write_text("{}")  # non-BENCH files ignored
+    assert bench.find_prior(tmp_path, exclude=current) == new
+    assert bench.find_prior(tmp_path) == current
+
+
+# ----------------------------------------------------------------------
+# compare
+# ----------------------------------------------------------------------
+def test_compare_flags_wall_time_regression():
+    prior = {"entries": [_entry(wall=2.0)]}
+    regs = bench.compare([_entry(wall=3.0)], prior, threshold=0.20)
+    assert len(regs) == 1
+    assert regs[0]["kind"] == "wall_time"
+    assert regs[0]["ratio"] == pytest.approx(1.5)
+
+
+def test_compare_flags_gained_affinity_drop():
+    prior = {"entries": [_entry(gained=0.8)]}
+    regs = bench.compare([_entry(gained=0.5)], prior, threshold=0.20)
+    assert [r["kind"] for r in regs] == ["gained_affinity"]
+
+
+def test_compare_tolerates_noise_within_threshold():
+    prior = {"entries": [_entry(wall=2.0, gained=0.8)]}
+    current = [_entry(wall=2.3, gained=0.75)]
+    assert bench.compare(current, prior, threshold=0.20) == []
+
+
+def test_compare_ignores_improvements_and_unmatched_entries():
+    prior = {"entries": [_entry(wall=2.0, gained=0.8)]}
+    current = [
+        _entry(wall=0.5, gained=0.95),      # faster and better: fine
+        _entry(dataset="M9", wall=99.0),    # no baseline entry: skipped
+    ]
+    assert bench.compare(current, prior, threshold=0.20) == []
+
+
+# ----------------------------------------------------------------------
+# main (regression detection end to end, solver stubbed out)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def stubbed_runner(monkeypatch):
+    """Replace the solver-backed run_entry with a deterministic stub whose
+    wall time honours the --slowdown self-test hook, and tick the BENCH
+    timestamp per run so back-to-back runs never collide on a filename."""
+
+    def fake_run_entry(dataset, workers, time_limit, slowdown=0.0):
+        return _entry(dataset=dataset, workers=workers,
+                      wall=1.0 + slowdown, gained=0.8)
+
+    class _Stamp:
+        def __init__(self, tick: int) -> None:
+            self._tick = tick
+
+        def strftime(self, fmt: str) -> str:
+            return f"20260101T{self._tick:06d}Z"
+
+    class _FakeDatetime:
+        tick = 0
+
+        @classmethod
+        def now(cls, tz=None):
+            cls.tick += 1
+            return _Stamp(cls.tick)
+
+    monkeypatch.setattr(bench, "run_entry", fake_run_entry)
+    monkeypatch.setattr(bench, "datetime", _FakeDatetime)
+    return bench
+
+
+def test_first_run_records_schema_valid_baseline(stubbed_runner, tmp_path, capsys):
+    code = stubbed_runner.main(["--quick", "--out-dir", str(tmp_path)])
+    assert code == 0
+    assert "fresh baseline" in capsys.readouterr().out
+    files = sorted(tmp_path.glob("BENCH_*.json"))
+    assert len(files) == 1
+    doc = json.loads(files[0].read_text())
+    assert doc["schema"] == bench.SCHEMA
+    assert doc["baseline_file"] is None
+    assert doc["regressions"] == []
+    assert [tuple(pair) for pair in doc["suite"]] == [("M3", 1), ("M3", 4)]
+    for entry in doc["entries"]:
+        assert {"dataset", "mode", "workers", "gained_affinity",
+                "wall_seconds", "solver_mix", "subproblems",
+                "peak_rss_bytes"} <= set(entry)
+
+
+def test_injected_slowdown_detected_as_regression(stubbed_runner, tmp_path):
+    assert stubbed_runner.main(["--quick", "--out-dir", str(tmp_path)]) == 0
+    # A clean repeat run is not a regression...
+    assert stubbed_runner.main(["--quick", "--out-dir", str(tmp_path)]) == 0
+    # ...but a 2x slowdown against the recorded baseline exits 3.
+    code = stubbed_runner.main(["--quick", "--out-dir", str(tmp_path),
+                                "--slowdown", "1.0"])
+    assert code == 3
+    newest = sorted(tmp_path.glob("BENCH_*.json"))[-1]
+    doc = json.loads(newest.read_text())
+    assert doc["baseline_file"] is not None
+    kinds = {r["kind"] for r in doc["regressions"]}
+    assert kinds == {"wall_time"}
+
+
+def test_no_fail_reports_without_failing(stubbed_runner, tmp_path):
+    assert stubbed_runner.main(["--quick", "--out-dir", str(tmp_path)]) == 0
+    code = stubbed_runner.main(["--quick", "--out-dir", str(tmp_path),
+                                "--slowdown", "1.0", "--no-fail"])
+    assert code == 0
+
+
+def test_no_compare_skips_baseline(stubbed_runner, tmp_path):
+    assert stubbed_runner.main(["--quick", "--out-dir", str(tmp_path)]) == 0
+    assert stubbed_runner.main(["--quick", "--out-dir", str(tmp_path),
+                                "--slowdown", "1.0", "--no-compare"]) == 0
+    newest = sorted(tmp_path.glob("BENCH_*.json"))[-1]
+    assert json.loads(newest.read_text())["baseline_file"] is None
+
+
+def test_dataset_and_workers_overrides(stubbed_runner, tmp_path):
+    assert stubbed_runner.main(["--out-dir", str(tmp_path), "--datasets",
+                                "M1,M2", "--workers-list", "1"]) == 0
+    doc = json.loads(sorted(tmp_path.glob("BENCH_*.json"))[-1].read_text())
+    assert [tuple(p) for p in doc["suite"]] == [("M1", 1), ("M2", 1)]
+
+
+def test_committed_bench_results_are_schema_valid():
+    results = _BENCH_PATH.parent / "results"
+    files = sorted(results.glob("BENCH_*.json"))
+    assert files, "a committed baseline trajectory point is expected"
+    for path in files:
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == bench.SCHEMA
+        assert doc["entries"], path.name
