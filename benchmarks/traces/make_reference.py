@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Regenerate the committed reference trace (``reference_week.jsonl.gz``).
+
+The trace is one simulated week of churn — autoscaling bursts every 12
+hours with machine drains/spot reclaims and replacement hardware, over a
+background of traffic shifts and occasional deploys/teardowns — recorded
+at the paper's half-hourly CronJob cadence over a soak-sized cluster.
+
+Synthesis is fully seeded and the v2 serialization is byte-stable, so
+re-running this script must reproduce the committed file bit for bit
+(tests/test_run_soak.py checks exactly that).  Bump ``SEED`` or the
+synthesis parameters only together with the committed trace and the
+golden expectations that reference it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct script invocation without install
+    _src = Path(__file__).resolve().parent.parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.cluster.replay import synthesize_trace  # noqa: E402
+
+SEED = 2
+TRACE_PATH = Path(__file__).resolve().parent / "reference_week.jsonl.gz"
+
+
+def build_trace():
+    """The committed reference trace, as an in-memory EventTrace."""
+    return synthesize_trace(
+        name="reference-week",
+        seed=SEED,
+        description=(
+            "committed soak reference: one simulated week of churn "
+            "(12h scale/machine bursts, background traffic shifts, "
+            "deploys/teardowns) at 30-min CronJob cadence"
+        ),
+    )
+
+
+def main() -> int:
+    trace = build_trace()
+    trace.save(TRACE_PATH)
+    print(
+        f"wrote {TRACE_PATH} ({len(trace.events)} events, "
+        f"{trace.num_cycles()} cycles, "
+        f"{trace.base.num_services} services / "
+        f"{trace.base.num_machines} machines)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Public API tour — start with the :mod:`repro.api` facade:
   SLA-safe migration paths (with optional fault injection and retries).
 * :func:`run_control_loop` — drive the CronJob control plane, optionally
   under a chaos :class:`FaultPlan`.
+* :func:`replay_trace` — drive the control plane against a recorded v2
+  event trace (see :mod:`repro.cluster.replay`).
 
 Model a cluster with :class:`Service`, :class:`Machine`,
 :class:`AntiAffinityRule`, and :class:`RASAProblem`; generate paper-shaped
@@ -21,7 +23,13 @@ partitioners/selectors, :class:`MigrationPathBuilder` /
 """
 
 from repro import api
-from repro.api import execute_plan, optimize, plan_migration, run_control_loop
+from repro.api import (
+    execute_plan,
+    optimize,
+    plan_migration,
+    replay_trace,
+    run_control_loop,
+)
 from repro.core import (
     AffinityGraph,
     AntiAffinityRule,
@@ -86,5 +94,6 @@ __all__ = [
     "execute_plan",
     "optimize",
     "plan_migration",
+    "replay_trace",
     "run_control_loop",
 ]

@@ -9,6 +9,8 @@ Four functions cover the library's workflows end to end:
   optional fault injection, and retry/backoff.
 * :func:`run_control_loop` — drive the CronJob control plane for N cycles,
   optionally under a chaos :class:`~repro.faults.FaultPlan`.
+* :func:`replay_trace` — drive the control plane against a recorded
+  v2 event trace (deploys, scaling, traffic shifts, machine churn).
 
 Each facade function is a thin, stable wrapper over the class-based layer
 (:class:`~repro.core.rasa.RASAScheduler`,
@@ -23,7 +25,8 @@ let the underlying constructors evolve without breaking callers.
 
 from __future__ import annotations
 
-from typing import Callable
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -40,10 +43,14 @@ from repro.obs import JsonlStreamWriter, TelemetryHub, TelemetryServer
 from repro.migration.path import MigrationPathBuilder
 from repro.migration.plan import MigrationPlan
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.replay import EventStreamCursor, EventTrace
+
 __all__ = [
     "execute_plan",
     "optimize",
     "plan_migration",
+    "replay_trace",
     "run_control_loop",
 ]
 
@@ -156,6 +163,7 @@ def run_control_loop(
     telemetry_host: str = "127.0.0.1",
     cycle_stream: "str | None" = None,
     on_telemetry_start: "Callable[[TelemetryServer], None] | None" = None,
+    stream: "EventStreamCursor | None" = None,
 ) -> list[CycleReport]:
     """Drive the CronJob control plane for ``cycles`` cycles.
 
@@ -189,6 +197,11 @@ def run_control_loop(
         on_telemetry_start: Callback invoked with the running
             :class:`~repro.obs.server.TelemetryServer` right after it
             binds — the way to learn an ephemeral port.
+        stream: Optional replay cursor
+            (:class:`~repro.cluster.replay.EventStreamCursor`); each cycle
+            first applies the trace events due at the simulated clock.
+            Must wrap the same :class:`ClusterState` passed as ``state``
+            (:func:`replay_trace` wires this up for you).
 
     Returns:
         One :class:`CycleReport` per cycle, in order.
@@ -196,17 +209,24 @@ def run_control_loop(
     if isinstance(state, RASAProblem):
         state = ClusterState(state)
     if collector is None:
-        collector = DataCollector(
-            dict(state.problem.affinity.items()),
-            traffic_jitter_sigma=traffic_jitter_sigma,
-            seed=seed,
-        )
+        if stream is not None:
+            collector = DataCollector(
+                stream=stream,
+                traffic_jitter_sigma=traffic_jitter_sigma,
+                seed=seed,
+            )
+        else:
+            collector = DataCollector(
+                dict(state.problem.affinity.items()),
+                traffic_jitter_sigma=traffic_jitter_sigma,
+                seed=seed,
+            )
     hub = None
     server = None
-    stream = None
+    writer = None
     if cycle_stream is not None or telemetry_port is not None:
-        stream = JsonlStreamWriter(cycle_stream) if cycle_stream else None
-        hub = TelemetryHub(stream=stream)
+        writer = JsonlStreamWriter(cycle_stream) if cycle_stream else None
+        hub = TelemetryHub(stream=writer)
     controller = CronJobController(
         state=state,
         collector=collector,
@@ -219,13 +239,14 @@ def run_control_loop(
         degradation=degradation or DegradationPolicy(),
         retry=retry or RetryPolicy(),
         telemetry=hub,
+        stream=stream,
     )
     if telemetry_port is None:
         try:
             return controller.run(cycles)
         finally:
-            if stream is not None:
-                stream.close()
+            if writer is not None:
+                writer.close()
     server = TelemetryServer(hub, port=telemetry_port, host=telemetry_host)
     try:
         server.start()
@@ -234,3 +255,79 @@ def run_control_loop(
         return controller.run(cycles)
     finally:
         server.stop()
+
+
+def replay_trace(
+    trace: "EventTrace | str | Path",
+    *,
+    cycles: int | None = None,
+    config: RASAConfig | None = None,
+    faults: "FaultPlan | FaultInjector | dict | None" = None,
+    time_limit: float | None = None,
+    interval_seconds: float | None = None,
+    sla_floor: float = 0.75,
+    rollback_imbalance: float | None = None,
+    degradation: DegradationPolicy | None = None,
+    retry: RetryPolicy | None = None,
+    traffic_jitter_sigma: float = 0.0,
+    seed: int = 0,
+    telemetry_port: int | None = None,
+    telemetry_host: str = "127.0.0.1",
+    cycle_stream: "str | None" = None,
+    on_telemetry_start: "Callable[[TelemetryServer], None] | None" = None,
+) -> list[CycleReport]:
+    """Replay a recorded event trace through the CronJob control plane.
+
+    Builds a fresh replay world from the trace's base cluster, then runs
+    the control loop: each cycle first applies the trace events due at the
+    simulated clock (deploys, teardowns, scaling, traffic shifts, machine
+    churn), then collects, solves, and migrates as usual.
+
+    Replays are deterministic: the same trace, ``seed``, and fault plan
+    produce a bit-identical report sequence for any worker count.  The
+    default ``time_limit`` of None keeps that guarantee — finite budgets
+    make the solver's progress wall-clock-dependent.
+
+    Args:
+        trace: An in-memory :class:`~repro.cluster.replay.EventTrace` or a
+            path to a v2 trace file.
+        cycles: Cycles to run; None replays the whole stream
+            (``trace.num_cycles()``).
+        interval_seconds: Cycle period; None uses the trace's recorded
+            cadence.
+        (remaining arguments as in :func:`run_control_loop`)
+
+    Returns:
+        One :class:`CycleReport` per cycle; ``report.events`` records the
+        trace events applied before each cycle.
+    """
+    from repro.cluster.replay import EventTrace
+
+    if not isinstance(trace, EventTrace):
+        trace = EventTrace.load(trace)
+    interval = (
+        interval_seconds if interval_seconds is not None
+        else trace.interval_seconds
+    )
+    if cycles is None:
+        cycles = trace.num_cycles(interval)
+    cursor = trace.cursor()
+    return run_control_loop(
+        cursor.state,
+        cycles=cycles,
+        config=config,
+        faults=faults,
+        time_limit=time_limit,
+        interval_seconds=interval,
+        sla_floor=sla_floor,
+        rollback_imbalance=rollback_imbalance,
+        degradation=degradation,
+        retry=retry,
+        traffic_jitter_sigma=traffic_jitter_sigma,
+        seed=seed,
+        telemetry_port=telemetry_port,
+        telemetry_host=telemetry_host,
+        cycle_stream=cycle_stream,
+        on_telemetry_start=on_telemetry_start,
+        stream=cursor,
+    )

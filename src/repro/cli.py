@@ -12,6 +12,9 @@ Subcommands mirror the workflows a cluster operator needs:
 * ``rasa cron`` — run the CronJob control loop for N cycles, optionally
   under a chaos ``--fault-plan``, with a ``--degradation-policy`` ladder
   and a machine-readable ``--report-out``.
+* ``rasa replay`` — drive the control loop against a recorded v2 event
+  trace (service deploys/teardowns, scaling, traffic shifts, machine
+  churn), replaying the whole stream by default.
 
 Every subcommand accepts ``--log-level`` (structured ``repro.*`` logging
 to stderr) and ``--quiet`` (suppress the plain-text stdout report);
@@ -45,7 +48,7 @@ from repro.obs import (
     set_tracer,
 )
 from repro.workloads import ClusterSpec, generate_cluster, load_cluster
-from repro.workloads.trace_io import load_trace, save_trace
+from repro.workloads.trace_io import load_event_trace, load_trace, save_trace
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -198,6 +201,61 @@ def _add_cron(subparsers) -> None:
     _add_common(parser)
 
 
+def _add_replay(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "replay", help="replay a recorded v2 event trace through the control loop"
+    )
+    parser.add_argument("trace", help="v2 event-trace file (gzip JSONL)")
+    parser.add_argument(
+        "--cycles", type=int, default=None,
+        help="cycles to run (default: the whole stream)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None,
+        help="per-cycle solver budget in seconds (default: unlimited, "
+             "which keeps the replay bit-deterministic)",
+    )
+    parser.add_argument("--sla-floor", type=float, default=0.75,
+                        help="alive-fraction floor enforced during migrations")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="collector jitter-stream seed")
+    parser.add_argument(
+        "--jitter", type=float, default=0.0, metavar="SIGMA",
+        help="lognormal sigma of traffic-measurement drift (default: 0)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        help="JSON FaultPlan file enabling seeded chaos injection",
+    )
+    parser.add_argument(
+        "--degradation-policy",
+        default="retry,greedy,skip",
+        metavar="LADDER",
+        help="comma ladder of rungs for faulted cycles: retry[:N], greedy, skip "
+             "(default: retry,greedy,skip)",
+    )
+    parser.add_argument(
+        "--report-out",
+        help="write the per-cycle reports as machine-readable JSON",
+    )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        metavar="PORT",
+        help="serve live telemetry on this port for the duration of the "
+             "loop: /metrics (Prometheus), /healthz, /cycles, /trace",
+    )
+    parser.add_argument(
+        "--cycle-stream",
+        metavar="PATH",
+        help="append each finished cycle's report as one JSON line to PATH",
+    )
+    _add_parallel(parser)
+    _add_profile(parser)
+    _add_common(parser)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -210,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare(subparsers)
     _add_inspect(subparsers)
     _add_cron(subparsers)
+    _add_replay(subparsers)
     return parser
 
 
@@ -448,12 +507,101 @@ def cmd_cron(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    out = _make_output(args)
+    try:
+        trace = load_event_trace(args.trace)
+    except (OSError, ProblemValidationError) as exc:
+        print(f"error: could not load event trace: {exc}", file=sys.stderr)
+        return 1
+    cycles = args.cycles if args.cycles is not None else trace.num_cycles()
+    out(
+        f"trace {trace.name!r}: {len(trace.events)} events, "
+        f"{trace.base.num_services} services / {trace.base.num_machines} "
+        f"machines, replaying {cycles} cycles"
+    )
+
+    faults = None
+    if args.fault_plan:
+        try:
+            faults = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError, ProblemValidationError) as exc:
+            print(f"error: could not load fault plan: {exc}", file=sys.stderr)
+            return 1
+        out(f"fault plan: {faults.to_dict()}")
+    try:
+        degradation = DegradationPolicy.parse(args.degradation_policy)
+    except (ValueError, ProblemValidationError) as exc:
+        print(f"error: invalid --degradation-policy: {exc}", file=sys.stderr)
+        return 1
+
+    if args.telemetry_port is not None and args.telemetry_port < 0:
+        print("error: --telemetry-port must be >= 0", file=sys.stderr)
+        return 1
+    tracer = Tracer() if (args.profile or args.telemetry_port is not None) else None
+    previous = set_tracer(tracer) if tracer is not None else None
+
+    def announce(server) -> None:
+        out(f"telemetry: {server.url} (/metrics /healthz /cycles /trace)")
+
+    try:
+        reports = api.replay_trace(
+            trace,
+            cycles=args.cycles,
+            config=_scheduler_config(args),
+            faults=faults,
+            time_limit=args.time_limit,
+            sla_floor=args.sla_floor,
+            degradation=degradation,
+            traffic_jitter_sigma=args.jitter,
+            seed=args.seed,
+            telemetry_port=args.telemetry_port,
+            cycle_stream=args.cycle_stream,
+            on_telemetry_start=(
+                announce if args.telemetry_port is not None else None
+            ),
+        )
+    finally:
+        if tracer is not None:
+            set_tracer(previous)
+
+    out(f"{'cycle':>5s} {'action':16s} {'gained':>8s} {'moved':>6s} "
+        f"{'events':>7s} {'sla':>4s}")
+    for report in reports:
+        out(
+            f"{report.cycle:>5d} {report.action:16s} "
+            f"{report.gained_after:>8.3f} {report.moved_containers:>6d} "
+            f"{len(report.events):>7d} "
+            f"{'ok' if report.sla_ok else 'VIOL':>4s}"
+        )
+    out(
+        f"cycles: {len(reports)} "
+        f"({sum(1 for r in reports if r.action == 'executed')} executed, "
+        f"{sum(1 for r in reports if r.action == 'dry_run')} dry-run, "
+        f"{sum(len(r.events) for r in reports)} events applied)"
+    )
+
+    exit_code = 0 if all(r.sla_ok for r in reports) else 1
+    if exit_code:
+        out("SLA floor violated in at least one cycle")
+    if args.report_out:
+        try:
+            with open(args.report_out, "w", encoding="utf-8") as handle:
+                json.dump([r.to_dict() for r in reports], handle, indent=1)
+            out(f"wrote report to {args.report_out}")
+        except OSError as exc:
+            print(f"error: could not write report: {exc}", file=sys.stderr)
+            exit_code = 1
+    return exit_code
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "optimize": cmd_optimize,
     "compare": cmd_compare,
     "inspect": cmd_inspect,
     "cron": cmd_cron,
+    "replay": cmd_replay,
 }
 
 

@@ -10,6 +10,20 @@ from repro.cluster.events import (
     ScaleEvent,
     TrafficShiftEvent,
 )
+from repro.cluster.replay import (
+    EventStreamCursor,
+    EventTrace,
+    MachineAdd,
+    MachineDrain,
+    ReplayWorld,
+    ServiceDeploy,
+    ServiceScale,
+    ServiceTeardown,
+    SpotReclaim,
+    TrafficShift,
+    event_from_dict,
+    synthesize_trace,
+)
 from repro.cluster.simulation import DynamicSimulation, SimulationTick, make_world
 from repro.cluster.network import (
     NetworkParameters,
@@ -38,11 +52,23 @@ __all__ = [
     "DynamicCluster",
     "DynamicSimulation",
     "EventSchedule",
+    "EventStreamCursor",
+    "EventTrace",
+    "MachineAdd",
+    "MachineDrain",
     "MachineDrainEvent",
+    "ReplayWorld",
     "ScaleEvent",
+    "ServiceDeploy",
+    "ServiceScale",
+    "ServiceTeardown",
     "SimulationTick",
+    "SpotReclaim",
+    "TrafficShift",
     "TrafficShiftEvent",
+    "event_from_dict",
     "make_world",
+    "synthesize_trace",
     "NetworkParameters",
     "NetworkSimulator",
     "PairSeries",

@@ -30,19 +30,29 @@ class DataCollector:
 
     Args:
         qps: Ground-truth traffic per service pair (the monitoring system's
-            source of affinity weights).
+            source of affinity weights).  May be None when ``stream`` is
+            given.
         traffic_jitter_sigma: Lognormal sigma of per-window measurement
             drift; 0 disables jitter.
         seed: RNG seed for the jitter stream.
+        stream: Optional replay cursor
+            (:class:`~repro.cluster.replay.EventStreamCursor`).  When set,
+            each collection window reads the cursor's *live* traffic map —
+            which trace events mutate between cycles — instead of the
+            static ``qps`` snapshot.
     """
 
     def __init__(
         self,
-        qps: dict[tuple[str, str], float],
+        qps: dict[tuple[str, str], float] | None = None,
         traffic_jitter_sigma: float = 0.05,
         seed: int = 0,
+        stream=None,
     ) -> None:
-        self.qps = dict(qps)
+        if qps is None and stream is None:
+            raise ValueError("DataCollector needs a qps map or a stream")
+        self.qps = dict(qps) if qps is not None else {}
+        self.stream = stream
         self.traffic_jitter_sigma = traffic_jitter_sigma
         self._rng = np.random.default_rng(seed)
         self._last_problem: RASAProblem | None = None
@@ -68,15 +78,30 @@ class DataCollector:
         """
         if injector is not None and self._last_problem is not None:
             if injector.snapshot_fault() == SNAPSHOT_FAULT_STALE:
+                stale = self._last_problem
+                # Under structural churn (replay deploys/reclaims) the
+                # previous window may describe a different cluster; serving
+                # it would hand the optimizer a phantom world.  The fault
+                # draw above still consumed its RNG, so determinism with
+                # and without this guard tripping is preserved.
+                if (
+                    stale.service_names() == state.problem.service_names()
+                    and stale.machine_names() == state.problem.machine_names()
+                ):
+                    get_logger("cluster.collector").warning(
+                        "stale snapshot %s",
+                        kv(services=stale.num_services),
+                    )
+                    return stale
                 get_logger("cluster.collector").warning(
-                    "stale snapshot %s",
-                    kv(services=self._last_problem.num_services),
+                    "stale snapshot discarded %s",
+                    kv(reason="cluster structure changed"),
                 )
-                return self._last_problem
 
         base = state.problem
+        live_qps = self.stream.qps if self.stream is not None else self.qps
         weights: dict[tuple[str, str], float] = {}
-        for pair, volume in self.qps.items():
+        for pair, volume in live_qps.items():
             jitter = (
                 float(self._rng.lognormal(0.0, self.traffic_jitter_sigma))
                 if self.traffic_jitter_sigma > 0

@@ -25,6 +25,7 @@ recorded on the :class:`CycleReport` and in spans/metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -39,6 +40,9 @@ from repro.faults import FaultInjector, attempt_with_retry
 from repro.migration.path import MigrationPathBuilder
 from repro.obs import get_logger, get_metrics, get_tracer, kv
 from repro.obs.server import TelemetryHub
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.replay import EventStreamCursor
 
 #: The paper's churn gate: execute only on > 3 % gained-affinity improvement.
 IMPROVEMENT_GATE = 0.03
@@ -76,6 +80,8 @@ class CycleReport:
             runs).
         sla_ok: Whether every step boundary and the final state respected
             the SLA floor.
+        events: Descriptions of replay-stream events applied before this
+            cycle ran (empty outside replay mode).
         metrics: Snapshot of the process metrics registry taken when the
             cycle finished.
     """
@@ -95,6 +101,7 @@ class CycleReport:
     cycle_attempts: int = 1
     min_alive_fraction: float = 1.0
     sla_ok: bool = True
+    events: list[str] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -118,6 +125,7 @@ class CycleReport:
             "cycle_attempts": self.cycle_attempts,
             "min_alive_fraction": self.min_alive_fraction,
             "sla_ok": self.sla_ok,
+            "events": list(self.events),
             "metrics": self.metrics,
         }
 
@@ -140,6 +148,7 @@ class CycleReport:
             cycle_attempts=int(payload.get("cycle_attempts", 1)),
             min_alive_fraction=float(payload.get("min_alive_fraction", 1.0)),
             sla_ok=bool(payload.get("sla_ok", True)),
+            events=list(payload.get("events", [])),
             metrics=dict(payload.get("metrics", {})),
         )
 
@@ -188,6 +197,12 @@ class CronJobController:
             endpoints and the JSONL cycle stream).  A pure observer: it
             never feeds back into the loop, so attaching one leaves the
             report sequence bit-identical.
+        stream: Optional replay cursor
+            (:class:`~repro.cluster.replay.EventStreamCursor`).  When set,
+            every cycle first applies all trace events due at the current
+            simulated clock, then runs the normal collect→solve→migrate
+            body against the churned world.  The cursor must wrap the same
+            :class:`ClusterState` object as ``state``.
         history: Reports of every cycle run so far.
     """
 
@@ -206,6 +221,7 @@ class CronJobController:
     degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     telemetry: "TelemetryHub | None" = None
+    stream: "EventStreamCursor | None" = None
     history: list[CycleReport] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -220,11 +236,21 @@ class CronJobController:
         cycle = len(self.history)
         tracer = get_tracer()
         logger = get_logger("cluster.cronjob")
+        events: list[str] = []
+        if self.stream is not None:
+            with tracer.span("cron.replay", cycle=cycle) as span:
+                events = self.stream.advance_to(self.state.clock)
+                span.set_tag("events", len(events))
+            for description in events:
+                logger.info(
+                    "replay event %s", kv(cycle=cycle, event=description)
+                )
         with tracer.span("cron.cycle", cycle=cycle) as span:
             report = self._run_cycle(cycle, tracer, logger)
             span.set_tag("action", report.action)
             span.set_tag("gained_after", report.gained_after)
             span.set_tag("moved_containers", report.moved_containers)
+        report.events = events
         report.metrics = get_metrics().snapshot()
         logger.info(
             "cycle done %s",

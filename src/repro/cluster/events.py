@@ -111,11 +111,9 @@ class DynamicCluster:
             resource_types=old.resource_types,
             current_assignment=self.state.placement,
         )
-        clock = self.state.clock
-        tags = dict(self.state.unschedulable_until)
-        self.state = ClusterState(problem, placement=problem.current_assignment)
-        self.state.advance(clock)
-        self.state.unschedulable_until.update(tags)
+        # In-place rebind keeps every holder of this state object (CronJob
+        # controllers, replay cursors) pointed at the live world.
+        self.state.rebind(problem)
         return problem
 
 
@@ -149,7 +147,7 @@ class ScaleEvent:
                     break
         elif self.new_demand < placed:
             for _ in range(placed - self.new_demand):
-                machine = _least_affine_host(state, s)
+                machine = least_affine_host(state, s)
                 if machine is None:
                     break
                 state.delete_container(self.service, machine)
@@ -199,7 +197,7 @@ class TrafficShiftEvent:
         return f"traffic {key[0]}<->{key[1]} x{self.factor:g}"
 
 
-def _least_affine_host(state: ClusterState, service: int) -> str | None:
+def least_affine_host(state: ClusterState, service: int) -> str | None:
     """Host machine whose replica of ``service`` contributes the least
     gained affinity (the natural scale-down victim)."""
     problem = state.problem

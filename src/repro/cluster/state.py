@@ -154,3 +154,44 @@ class ClusterState:
                 f"placement shape {placement.shape} != {self._x.shape}"
             )
         self._x = placement.copy()
+
+    def rebind(self, problem: RASAProblem, placement: np.ndarray | None = None) -> None:
+        """Swap in a new problem definition *in place*, preserving identity.
+
+        Structural churn (service deploys, machine reclaims, traffic shifts)
+        re-materializes the :class:`RASAProblem`, but the CronJob controller
+        and the replay cursor both hold references to *this* state object —
+        rebinding keeps those references valid instead of forcing every
+        holder to chase a replacement object.  The simulated clock and the
+        churn-guard tags survive; tags for machines that left the cluster
+        are dropped.
+
+        Args:
+            problem: The new cluster description.
+            placement: Placement matrix matching the new problem's shape;
+                defaults to ``problem.current_assignment`` (or an empty
+                cluster when the problem carries none).
+
+        Raises:
+            ClusterStateError: When the placement shape does not match.
+        """
+        if placement is None:
+            placement = problem.current_assignment
+        if placement is None:
+            placement = np.zeros(
+                (problem.num_services, problem.num_machines), dtype=np.int64
+            )
+        placement = np.asarray(placement, dtype=np.int64)
+        expected = (problem.num_services, problem.num_machines)
+        if placement.shape != expected:
+            raise ClusterStateError(
+                f"placement shape {placement.shape} != {expected}"
+            )
+        self.problem = problem
+        self._x = placement.copy()
+        machines = set(problem.machine_names())
+        self.unschedulable_until = {
+            name: until
+            for name, until in self.unschedulable_until.items()
+            if name in machines
+        }

@@ -1,16 +1,32 @@
-"""Cluster trace serialization: save and load RASA instances as JSON.
+"""Cluster trace serialization: save and load RASA instances and event
+streams as versioned JSON.
 
 The paper's datasets come from a metrics-monitoring system; downstream
-users of this library will have their own.  This module defines a stable
-JSON trace format so real traces can be dropped in wherever the synthetic
-generator is used — services, machines, traffic (affinity), constraints,
-and the current placement round-trip losslessly.
+users of this library will have their own.  This module defines two
+stable, explicitly versioned trace formats:
+
+* **v1** — a single-JSON point-in-time problem snapshot (services,
+  machines, traffic/affinity, constraints, current placement), handled by
+  :func:`save_trace`/:func:`load_trace`.
+* **v2** — a gzip-compressed JSONL *event trace*: a header line (format
+  version, trace metadata, and the embedded base problem) followed by one
+  :mod:`repro.cluster.replay` event per line, handled by
+  :func:`save_event_trace`/:func:`load_event_trace`.  Serialization is
+  byte-stable (sorted keys, compact separators, zeroed gzip metadata) so
+  committed traces round-trip load→save→load to identical bytes.
+
+Both loaders gate on ``format_version`` and raise a clear
+:class:`~repro.exceptions.ProblemValidationError` on unknown versions or
+cross-format confusion instead of best-effort parsing.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,8 +34,17 @@ from repro.core.affinity import AffinityGraph
 from repro.core.problem import AntiAffinityRule, Machine, RASAProblem, Service
 from repro.exceptions import ProblemValidationError
 
-#: Format version written into every trace file.
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay uses us)
+    from repro.cluster.replay import EventTrace
+
+#: Format version written into every v1 (problem snapshot) trace file.
 TRACE_FORMAT_VERSION = 1
+
+#: Format version written into every v2 (event stream) trace file.
+EVENT_TRACE_FORMAT_VERSION = 2
+
+#: Magic bytes identifying a gzip-compressed trace.
+_GZIP_MAGIC = b"\x1f\x8b"
 
 
 def problem_to_dict(problem: RASAProblem) -> dict:
@@ -66,6 +91,11 @@ def problem_from_dict(payload: dict) -> RASAProblem:
         ProblemValidationError: On unknown format versions or malformed data.
     """
     version = payload.get("format_version")
+    if version == EVENT_TRACE_FORMAT_VERSION:
+        raise ProblemValidationError(
+            f"format version {version} is an event trace, not a problem "
+            f"snapshot; use load_event_trace()"
+        )
     if version != TRACE_FORMAT_VERSION:
         raise ProblemValidationError(
             f"unsupported trace format version {version!r} "
@@ -130,8 +160,141 @@ def load_trace(path: str | Path) -> RASAProblem:
     Raises:
         ProblemValidationError: On malformed content.
     """
+    raw = Path(path).read_bytes()
+    if raw[:2] == _GZIP_MAGIC:
+        raise ProblemValidationError(
+            f"{path} is gzip-compressed (an event trace?); "
+            f"use load_event_trace()"
+        )
     try:
-        payload = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as exc:
+        payload = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ProblemValidationError(f"trace file is not valid JSON: {exc}") from exc
     return problem_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Format v2: event traces (gzip-compressed JSONL)
+# ----------------------------------------------------------------------
+def _dumps(payload: dict) -> str:
+    """Canonical JSON encoding — the byte-stability contract of v2."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def save_event_trace(trace: "EventTrace", path: str | Path) -> None:
+    """Write an event trace as format-v2 JSONL.
+
+    Paths ending in ``.gz`` are gzip-compressed with zeroed metadata
+    (mtime, filename) so identical traces produce identical bytes.
+    """
+    header = {
+        "format_version": EVENT_TRACE_FORMAT_VERSION,
+        "kind": "event_trace",
+        "name": trace.name,
+        "seed": int(trace.seed),
+        "interval_seconds": float(trace.interval_seconds),
+        "description": trace.description,
+        "base": problem_to_dict(trace.base),
+    }
+    lines = [_dumps(header)]
+    lines.extend(_dumps(event.to_dict()) for event in trace.events)
+    data = ("\n".join(lines) + "\n").encode("utf-8")
+    path = Path(path)
+    if path.suffix == ".gz":
+        buf = io.BytesIO()
+        with gzip.GzipFile(filename="", mode="wb", fileobj=buf, mtime=0) as gz:
+            gz.write(data)
+        path.write_bytes(buf.getvalue())
+    else:
+        path.write_bytes(data)
+
+
+def load_event_trace(path: str | Path) -> "EventTrace":
+    """Read an event trace written by :func:`save_event_trace`.
+
+    Raises:
+        ProblemValidationError: On unknown format versions, cross-format
+            confusion (a v1 snapshot fed to the v2 loader), or malformed
+            header/event lines.
+    """
+    from repro.cluster.replay import EventTrace, event_from_dict
+
+    raw = Path(path).read_bytes()
+    if raw[:2] == _GZIP_MAGIC:
+        try:
+            raw = gzip.decompress(raw)
+        except (OSError, EOFError) as exc:
+            raise ProblemValidationError(
+                f"corrupt gzip stream in event trace {path}: {exc}"
+            ) from exc
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProblemValidationError(
+            f"event trace {path} is not UTF-8 text: {exc}"
+        ) from exc
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ProblemValidationError(f"event trace {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        # A v1 snapshot is pretty-printed multi-line JSON, so its first
+        # line alone never parses; detect that before complaining.
+        try:
+            whole = json.loads(text)
+        except json.JSONDecodeError:
+            whole = None
+        if isinstance(whole, dict) and whole.get("format_version") == TRACE_FORMAT_VERSION:
+            raise ProblemValidationError(
+                f"{path} is a format-version {TRACE_FORMAT_VERSION} problem "
+                f"snapshot, not an event trace; use load_trace()"
+            ) from exc
+        raise ProblemValidationError(
+            f"event trace header is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(header, dict):
+        raise ProblemValidationError("event trace header must be an object")
+    version = header.get("format_version")
+    if version == TRACE_FORMAT_VERSION:
+        raise ProblemValidationError(
+            f"format version {version} is a problem snapshot, not an event "
+            f"trace; use load_trace()"
+        )
+    if version != EVENT_TRACE_FORMAT_VERSION:
+        raise ProblemValidationError(
+            f"unsupported event-trace format version {version!r} "
+            f"(expected {EVENT_TRACE_FORMAT_VERSION})"
+        )
+    if header.get("kind") != "event_trace":
+        raise ProblemValidationError(
+            f"unexpected trace kind {header.get('kind')!r} "
+            f"(expected 'event_trace')"
+        )
+    try:
+        base = problem_from_dict(header["base"])
+        name = str(header.get("name", "trace"))
+        seed = int(header.get("seed", 0))
+        interval = float(header.get("interval_seconds", 1800.0))
+        description = str(header.get("description", ""))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProblemValidationError(
+            f"malformed event-trace header: {exc}"
+        ) from exc
+    events = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProblemValidationError(
+                f"event trace line {lineno} is not valid JSON: {exc}"
+            ) from exc
+        events.append(event_from_dict(payload))
+    return EventTrace(
+        base=base,
+        events=events,
+        name=name,
+        seed=seed,
+        interval_seconds=interval,
+        description=description,
+    )

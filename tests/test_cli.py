@@ -130,3 +130,78 @@ def test_cron_rejects_bad_degradation_policy(trace_path, capsys):
     code = main(["cron", str(trace_path), "--degradation-policy", "retry,nope"])
     assert code == 1
     assert "invalid --degradation-policy" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# rasa replay
+# ----------------------------------------------------------------------
+@pytest.fixture
+def event_trace_path(tmp_path):
+    from repro.cluster.replay import synthesize_trace
+    from repro.workloads import ClusterSpec
+
+    spec = ClusterSpec(
+        name="cli-replay", num_services=6, num_containers=20,
+        num_machines=3, affinity_beta=2.0, seed=5,
+    )
+    trace = synthesize_trace(
+        spec, name="cli-replay", seed=5,
+        duration_seconds=4 * 1800.0, burst_every=2,
+    )
+    path = tmp_path / "events.jsonl.gz"
+    trace.save(path)
+    return path
+
+
+def test_replay_command(event_trace_path, tmp_path, capsys):
+    import json
+
+    from repro.cluster.cronjob import CycleReport
+
+    report_path = tmp_path / "replay-report.json"
+    code = main([
+        "replay", str(event_trace_path), "--cycles", "3",
+        "--report-out", str(report_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace 'cli-replay'" in out
+    assert "events applied" in out
+    reports = [
+        CycleReport.from_dict(entry)
+        for entry in json.loads(report_path.read_text())
+    ]
+    assert [r.cycle for r in reports] == [0, 1, 2]
+    assert all(r.sla_ok for r in reports)
+
+
+def test_replay_defaults_to_whole_trace(event_trace_path, capsys):
+    code = main(["replay", str(event_trace_path), "--time-limit", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replaying 5 cycles" in out  # 4*1800s of events + cycle 0
+
+
+def test_replay_rejects_missing_trace(tmp_path, capsys):
+    code = main(["replay", str(tmp_path / "nope.jsonl.gz")])
+    assert code == 1
+    assert "could not load event trace" in capsys.readouterr().err
+
+
+def test_replay_rejects_v1_snapshot(trace_path, capsys):
+    code = main(["replay", str(trace_path)])
+    assert code == 1
+    assert "could not load event trace" in capsys.readouterr().err
+
+
+def test_replay_with_fault_plan(event_trace_path, tmp_path, capsys):
+    from repro.faults import FaultPlan
+
+    plan_path = tmp_path / "plan.json"
+    FaultPlan(seed=2, command_failure_rate=0.2).save(plan_path)
+    code = main([
+        "replay", str(event_trace_path), "--cycles", "2",
+        "--fault-plan", str(plan_path),
+    ])
+    assert code == 0
+    assert "fault plan:" in capsys.readouterr().out

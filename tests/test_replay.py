@@ -1,0 +1,397 @@
+"""Tests for the trace-replay plane: events, the replay world, cursors,
+and the bit-determinism contract of closed-loop replays.
+
+Determinism tests compare :class:`CycleReport` payloads with the metrics
+snapshot stripped (same convention as tests/test_faults.py): the global
+metrics registry is a process-wide view, everything else must be
+bit-identical for the same trace + seed, for any worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import assert_feasible
+
+from repro import api
+from repro.cluster.cronjob import CycleReport
+from repro.cluster.replay import (
+    EVENT_TYPES,
+    EventTrace,
+    MachineAdd,
+    MachineDrain,
+    ReplayWorld,
+    ServiceDeploy,
+    ServiceScale,
+    ServiceTeardown,
+    SpotReclaim,
+    TrafficShift,
+    event_from_dict,
+    synthesize_trace,
+)
+from repro.core import RASAConfig
+from repro.exceptions import ClusterStateError, ProblemValidationError
+from repro.workloads import ClusterSpec
+
+
+def _report_key(report: CycleReport) -> dict:
+    payload = report.to_dict()
+    payload.pop("metrics")
+    return payload
+
+
+@pytest.fixture(scope="module")
+def small_trace() -> EventTrace:
+    """A fast, churn-dense trace over a small generated cluster."""
+    spec = ClusterSpec(
+        name="replay-test",
+        num_services=8,
+        num_containers=32,
+        num_machines=4,
+        affinity_beta=2.0,
+        seed=3,
+    )
+    return synthesize_trace(
+        spec,
+        name="replay-test",
+        seed=3,
+        duration_seconds=6 * 1800.0,
+        burst_every=2,
+    )
+
+
+# ----------------------------------------------------------------------
+# Event records
+# ----------------------------------------------------------------------
+EVENT_EXAMPLES = [
+    ServiceDeploy(10.0, "newsvc", 3, {"cpu": 1.0, "memory": 2.0}, 1.5,
+                  (("a", 12.0), ("b", 3.5))),
+    ServiceTeardown(20.0, "oldsvc"),
+    ServiceScale(30.0, "websvc", 7),
+    TrafficShift(40.0, "u", "v", 1.8),
+    MachineAdd(50.0, "nodeX", {"cpu": 32.0, "memory": 128.0}, "big"),
+    MachineDrain(60.0, "nodeY"),
+    SpotReclaim(70.0, "nodeZ"),
+]
+
+
+@pytest.mark.parametrize("event", EVENT_EXAMPLES, ids=lambda e: e.kind)
+def test_event_round_trip(event):
+    payload = event.to_dict()
+    assert payload["kind"] == event.kind
+    assert event_from_dict(payload) == event
+
+
+def test_event_registry_covers_every_kind():
+    assert sorted(EVENT_TYPES) == sorted(e.kind for e in EVENT_EXAMPLES)
+
+
+def test_event_from_dict_rejects_unknown_kind():
+    with pytest.raises(ProblemValidationError, match="unknown replay event"):
+        event_from_dict({"kind": "meteor_strike", "at_seconds": 0.0})
+
+
+def test_event_from_dict_rejects_non_dict():
+    with pytest.raises(ProblemValidationError, match="must be an object"):
+        event_from_dict(["service_scale"])
+
+
+def test_event_from_dict_rejects_malformed_payload():
+    with pytest.raises(ProblemValidationError, match="malformed"):
+        event_from_dict({"kind": "service_scale", "at_seconds": 0.0})
+
+
+# ----------------------------------------------------------------------
+# ReplayWorld semantics
+# ----------------------------------------------------------------------
+def test_world_heals_partial_base(small_cluster):
+    """A base assignment short of demand is topped up before cycle 0."""
+    world = ReplayWorld(small_cluster.problem)
+    placed = world.state.placement.sum(axis=1)
+    assert (placed == world.state.problem.demands).all()
+
+
+def test_world_state_identity_survives_structural_churn(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    state = world.state
+    world.apply(MachineAdd(0.0, "extra", {"cpu": 16.0, "memory": 32.0}))
+    world.apply(ServiceDeploy(0.0, "d", 2, {"cpu": 1.0, "memory": 1.0},
+                              edges=(("a", 5.0),)))
+    world.apply(SpotReclaim(0.0, "extra"))
+    assert world.state is state  # rebind keeps the object identity
+    assert "d" in state.problem.service_names()
+    assert "extra" not in state.problem.machine_names()
+    assert_feasible(state.assignment(), allow_partial=True)
+
+
+def test_deploy_adds_service_and_traffic(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    description = world.apply(
+        ServiceDeploy(0.0, "d", 2, {"cpu": 1.0, "memory": 1.0},
+                      edges=(("a", 7.0),))
+    )
+    assert description.startswith("deployed d")
+    problem = world.state.problem
+    assert "d" in problem.service_names()
+    assert world.qps[("a", "d")] == 7.0
+    assert problem.affinity.weight("a", "d") == pytest.approx(7.0)
+    s = problem.service_index("d")
+    assert world.state.placement[s].sum() == 2
+
+
+def test_deploy_rejects_duplicates_and_bad_edges(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    with pytest.raises(ClusterStateError, match="already exists"):
+        world.apply(ServiceDeploy(0.0, "a", 1, {"cpu": 1.0}))
+    with pytest.raises(ClusterStateError, match="unknown peer"):
+        world.apply(ServiceDeploy(0.0, "d", 1, {"cpu": 1.0},
+                                  edges=(("ghost", 1.0),)))
+    with pytest.raises(ClusterStateError, match="must be positive"):
+        world.apply(ServiceDeploy(0.0, "d", 1, {"cpu": 1.0},
+                                  edges=(("a", 0.0),)))
+
+
+def test_teardown_removes_service_everywhere(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    world.apply(ServiceTeardown(0.0, "b"))
+    problem = world.state.problem
+    assert "b" not in problem.service_names()
+    assert all("b" not in pair for pair in world.qps)
+    assert all("b" not in rule.services for rule in problem.anti_affinity)
+    with pytest.raises(ClusterStateError, match="unknown service"):
+        world.apply(ServiceTeardown(0.0, "b"))
+
+
+def test_teardown_keeps_at_least_one_service(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    world.apply(ServiceTeardown(0.0, "a"))
+    world.apply(ServiceTeardown(0.0, "b"))
+    with pytest.raises(ClusterStateError, match="last service"):
+        world.apply(ServiceTeardown(0.0, "c"))
+
+
+def test_scale_up_and_down(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    state = world.state
+
+    world.apply(ServiceScale(0.0, "c", 4))
+    s = state.problem.service_index("c")
+    assert state.problem.demands[s] == 4
+    assert state.placement[s].sum() == 4
+
+    world.apply(ServiceScale(0.0, "c", 1))
+    s = state.problem.service_index("c")
+    assert state.problem.demands[s] == 1
+    assert state.placement[s].sum() == 1
+    assert_feasible(state.assignment())
+
+
+def test_scale_rejects_bad_targets(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    with pytest.raises(ClusterStateError, match="unknown service"):
+        world.apply(ServiceScale(0.0, "ghost", 2))
+    with pytest.raises(ClusterStateError, match="must be positive"):
+        world.apply(ServiceScale(0.0, "a", 0))
+
+
+def test_traffic_shift_rescales_live_pair(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    before = world.qps[("a", "b")]
+    world.apply(TrafficShift(0.0, "b", "a", 2.0))  # order-insensitive
+    assert world.qps[("a", "b")] == pytest.approx(2.0 * before)
+    assert world.state.problem.affinity.weight("a", "b") == pytest.approx(
+        2.0 * before
+    )
+    with pytest.raises(ClusterStateError, match="no traffic recorded"):
+        world.apply(TrafficShift(0.0, "a", "ghost", 2.0))
+    with pytest.raises(ClusterStateError, match="must be positive"):
+        world.apply(TrafficShift(0.0, "a", "b", 0.0))
+
+
+def test_drain_evicts_and_replaces(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    state = world.state
+    m = state.problem.machine_index("m0")
+    world.apply(MachineDrain(0.0, "m0"))
+    problem = state.problem
+    assert "m0" in problem.machine_names()  # drained, not removed
+    m = problem.machine_index("m0")
+    assert state.placement[:, m].sum() == 0
+    assert problem.capacities_matrix[m].sum() == 0.0
+    # All demand fits on the two surviving machines.
+    assert (state.placement.sum(axis=1) == problem.demands).all()
+    with pytest.raises(ClusterStateError, match="already drained"):
+        world.apply(MachineDrain(0.0, "m0"))
+
+
+def test_reclaim_removes_machine(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    world.apply(SpotReclaim(0.0, "m2"))
+    problem = world.state.problem
+    assert "m2" not in problem.machine_names()
+    assert (world.state.placement.sum(axis=1) == problem.demands).all()
+    with pytest.raises(ClusterStateError, match="unknown machine"):
+        world.apply(SpotReclaim(0.0, "m2"))
+
+
+def test_reclaim_keeps_at_least_one_machine(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    world.apply(SpotReclaim(0.0, "m2"))
+    world.apply(SpotReclaim(0.0, "m1"))
+    with pytest.raises(ClusterStateError, match="last machine"):
+        world.apply(SpotReclaim(0.0, "m0"))
+
+
+def test_machine_add_rejects_duplicates(tiny_problem):
+    world = ReplayWorld(tiny_problem)
+    with pytest.raises(ClusterStateError, match="already exists"):
+        world.apply(MachineAdd(0.0, "m0", {"cpu": 1.0, "memory": 1.0}))
+
+
+def test_schedulability_bans_survive_rebuilds(constrained_problem):
+    """db is banned from m0; the ban must hold across structural churn."""
+    world = ReplayWorld(constrained_problem)
+    world.apply(MachineAdd(0.0, "m3", {"cpu": 16.0, "memory": 32.0}))
+    world.apply(ServiceScale(0.0, "batch", 4))
+    problem = world.state.problem
+    i = problem.service_index("db")
+    j = problem.machine_index("m0")
+    assert not problem.schedulable[i, j]
+    assert problem.schedulable[i, problem.machine_index("m3")]
+    assert_feasible(world.state.assignment(), allow_partial=True)
+
+
+# ----------------------------------------------------------------------
+# EventTrace + cursor
+# ----------------------------------------------------------------------
+def test_trace_sorts_events_by_time(tiny_problem):
+    late = ServiceScale(3600.0, "a", 5)
+    early = TrafficShift(60.0, "a", "b", 1.1)
+    trace = EventTrace(base=tiny_problem, events=[late, early])
+    assert trace.events == [early, late]
+    assert trace.duration_seconds == 3600.0
+    assert trace.num_cycles(1800.0) == 3  # cycles at t=0, 1800, 3600
+
+
+def test_empty_trace_counts_one_cycle(tiny_problem):
+    trace = EventTrace(base=tiny_problem)
+    assert trace.duration_seconds == 0.0
+    assert trace.num_cycles() == 1
+
+
+def test_cursor_applies_due_events_in_order(tiny_problem):
+    trace = EventTrace(
+        base=tiny_problem,
+        events=[
+            TrafficShift(100.0, "a", "b", 2.0),
+            ServiceScale(200.0, "c", 3),
+            ServiceScale(5000.0, "c", 1),
+        ],
+    )
+    cursor = trace.cursor()
+    assert cursor.pending == 3 and not cursor.exhausted
+
+    assert cursor.advance_to(50.0) == []
+    applied = cursor.advance_to(1800.0)
+    assert len(applied) == 2
+    assert applied[0].startswith("traffic")
+    assert applied[1].startswith("scaled c")
+    assert cursor.position == 2
+
+    assert cursor.advance_to(1800.0) == []  # no rewind, no re-application
+    assert len(cursor.advance_to(6000.0)) == 1
+    assert cursor.exhausted
+
+
+def test_cursor_exposes_live_world(tiny_problem):
+    trace = EventTrace(base=tiny_problem, events=[TrafficShift(10.0, "a", "b", 3.0)])
+    cursor = trace.cursor()
+    before = cursor.qps[("a", "b")]
+    cursor.advance_to(10.0)
+    assert cursor.qps[("a", "b")] == pytest.approx(3.0 * before)
+    assert cursor.state is cursor.world.state
+
+
+# ----------------------------------------------------------------------
+# Synthesis
+# ----------------------------------------------------------------------
+def test_synthesize_is_seed_deterministic(small_trace):
+    spec = ClusterSpec(
+        name="replay-test",
+        num_services=8,
+        num_containers=32,
+        num_machines=4,
+        affinity_beta=2.0,
+        seed=3,
+    )
+    again = synthesize_trace(
+        spec, name="replay-test", seed=3,
+        duration_seconds=6 * 1800.0, burst_every=2,
+    )
+    assert [e.to_dict() for e in again.events] == [
+        e.to_dict() for e in small_trace.events
+    ]
+    assert np.array_equal(
+        again.base.current_assignment, small_trace.base.current_assignment
+    )
+
+
+def test_synthesized_base_is_fully_placed(small_trace):
+    base = small_trace.base
+    assert base.current_assignment is not None
+    assert (base.current_assignment.sum(axis=1) == base.demands).all()
+    assert_feasible(
+        EventTrace(base=base).cursor().state.assignment()
+    )
+
+
+def test_synthesized_trace_replays_structurally(small_trace):
+    """Every event in the synthesized stream applies cleanly in order."""
+    cursor = small_trace.cursor()
+    applied = cursor.advance_to(small_trace.duration_seconds)
+    assert cursor.exhausted
+    assert len(applied) == len(small_trace.events)
+    assert_feasible(cursor.state.assignment(), allow_partial=True)
+
+
+# ----------------------------------------------------------------------
+# Closed-loop determinism (the contract run_soak.py leans on)
+# ----------------------------------------------------------------------
+def test_replay_trace_is_bit_deterministic(small_trace):
+    kwargs = dict(cycles=4, time_limit=None, seed=11)
+    first = api.replay_trace(small_trace, **kwargs)
+    second = api.replay_trace(small_trace, **kwargs)
+    assert len(first) == 4
+    assert [_report_key(r) for r in first] == [_report_key(r) for r in second]
+
+
+def test_replay_reports_carry_event_descriptions(small_trace):
+    reports = api.replay_trace(small_trace, cycles=4, time_limit=None)
+    applied = [e for r in reports for e in r.events]
+    due = [e for e in small_trace.events if e.at_seconds <= 3 * 1800.0]
+    assert len(applied) == len(due)
+    payload = reports[-1].to_dict()
+    assert payload["events"] == reports[-1].events
+    assert CycleReport.from_dict(payload).events == reports[-1].events
+
+
+def test_zero_rate_fault_plan_does_not_perturb_replay(small_trace):
+    without = api.replay_trace(small_trace, cycles=4, time_limit=None, seed=5)
+    zeroed = api.replay_trace(
+        small_trace, cycles=4, time_limit=None, seed=5, faults={"seed": 99}
+    )
+    assert [_report_key(r) for r in without] == [_report_key(r) for r in zeroed]
+
+
+@pytest.mark.slow
+def test_replay_deterministic_across_worker_counts(small_trace):
+    serial = api.replay_trace(
+        small_trace, cycles=4, time_limit=None, seed=5,
+        config=RASAConfig(max_subproblem_services=4, workers=1),
+    )
+    parallel = api.replay_trace(
+        small_trace, cycles=4, time_limit=None, seed=5,
+        config=RASAConfig(max_subproblem_services=4, workers=4),
+    )
+    assert [_report_key(r) for r in serial] == [_report_key(r) for r in parallel]

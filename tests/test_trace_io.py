@@ -1,18 +1,28 @@
-"""Unit tests for JSON trace serialization."""
+"""Unit tests for trace serialization: v1 problem snapshots and v2 event
+streams, including the golden byte-stability fixture and cross-format
+version gating."""
 
 from __future__ import annotations
+
+import gzip
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.exceptions import ProblemValidationError
 from repro.workloads.trace_io import (
+    EVENT_TRACE_FORMAT_VERSION,
     TRACE_FORMAT_VERSION,
+    load_event_trace,
     load_trace,
     problem_from_dict,
     problem_to_dict,
+    save_event_trace,
     save_trace,
 )
+
+GOLDEN_TRACE = Path(__file__).parent / "data" / "golden_event_trace.jsonl.gz"
 
 
 def test_round_trip_preserves_everything(constrained_problem, tmp_path):
@@ -87,3 +97,119 @@ def test_trace_usable_by_scheduler(tiny_problem, tmp_path):
     save_trace(tiny_problem, path)
     result = RASAScheduler().schedule(load_trace(path), time_limit=10)
     assert result.gained_affinity == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Format v2: event traces
+# ----------------------------------------------------------------------
+def test_event_trace_round_trip(tmp_path):
+    from repro.cluster.replay import ServiceScale
+
+    trace = load_event_trace(GOLDEN_TRACE)
+    # Out-of-order appends: the loader must return a sorted stream.
+    trace.events.append(ServiceScale(9e9, trace.base.services[0].name, 3))
+    trace.events.append(ServiceScale(1.0, trace.base.services[1].name, 2))
+    path = tmp_path / "t.jsonl.gz"
+    save_event_trace(trace, path)
+    restored = load_event_trace(path)
+    assert restored.name == trace.name
+    assert restored.seed == trace.seed
+    assert restored.interval_seconds == trace.interval_seconds
+    assert restored.description == trace.description
+    assert [e.to_dict() for e in restored.events] == [
+        e.to_dict() for e in sorted(trace.events, key=lambda e: e.at_seconds)
+    ]
+    assert restored.base.service_names() == trace.base.service_names()
+    assert np.array_equal(
+        restored.base.current_assignment, trace.base.current_assignment
+    )
+
+
+def test_golden_trace_is_byte_stable(tmp_path):
+    """load -> save -> load of the committed fixture is byte-identical."""
+    golden_bytes = GOLDEN_TRACE.read_bytes()
+    trace = load_event_trace(GOLDEN_TRACE)
+    first = tmp_path / "first.jsonl.gz"
+    save_event_trace(trace, first)
+    assert first.read_bytes() == golden_bytes
+    second = tmp_path / "second.jsonl.gz"
+    save_event_trace(load_event_trace(first), second)
+    assert second.read_bytes() == golden_bytes
+
+
+def test_event_trace_uncompressed_path(tmp_path):
+    trace = load_event_trace(GOLDEN_TRACE)
+    path = tmp_path / "plain.jsonl"
+    save_event_trace(trace, path)
+    raw = path.read_bytes()
+    assert raw[:2] != b"\x1f\x8b"
+    restored = load_event_trace(path)
+    assert [e.to_dict() for e in restored.events] == [
+        e.to_dict() for e in trace.events
+    ]
+
+
+def test_v1_loader_rejects_v2_file():
+    with pytest.raises(ProblemValidationError, match="load_event_trace"):
+        load_trace(GOLDEN_TRACE)
+
+
+def test_v2_loader_rejects_v1_file(tiny_problem, tmp_path):
+    path = tmp_path / "v1.json"
+    save_trace(tiny_problem, path)
+    with pytest.raises(ProblemValidationError, match="use load_trace"):
+        load_event_trace(path)
+
+
+def test_problem_from_dict_rejects_v2_payload(tiny_problem):
+    payload = problem_to_dict(tiny_problem)
+    payload["format_version"] = EVENT_TRACE_FORMAT_VERSION
+    with pytest.raises(ProblemValidationError, match="event trace"):
+        problem_from_dict(payload)
+
+
+def test_v2_loader_rejects_unknown_version(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text('{"format_version": 99, "kind": "event_trace"}\n')
+    with pytest.raises(ProblemValidationError, match="unsupported"):
+        load_event_trace(path)
+
+
+def test_v2_loader_rejects_wrong_kind(tmp_path):
+    path = tmp_path / "odd.jsonl"
+    path.write_text('{"format_version": 2, "kind": "something_else"}\n')
+    with pytest.raises(ProblemValidationError, match="kind"):
+        load_event_trace(path)
+
+
+def test_v2_loader_rejects_corrupt_gzip(tmp_path):
+    path = tmp_path / "corrupt.jsonl.gz"
+    path.write_bytes(b"\x1f\x8b" + b"\x00" * 16)
+    with pytest.raises(ProblemValidationError, match="gzip"):
+        load_event_trace(path)
+
+
+def test_v2_loader_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ProblemValidationError, match="empty"):
+        load_event_trace(path)
+
+
+def test_v2_loader_rejects_bad_event_line(tmp_path):
+    good = gzip.decompress(GOLDEN_TRACE.read_bytes()).decode()
+    header = good.splitlines()[0]
+    path = tmp_path / "bad.jsonl"
+    path.write_text(header + "\n{not json\n")
+    with pytest.raises(ProblemValidationError, match="line 2"):
+        load_event_trace(path)
+
+
+def test_v2_loader_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("[1, 2]\n")
+    with pytest.raises(ProblemValidationError, match="must be an object"):
+        load_event_trace(path)
+    path.write_text("{not json\n")
+    with pytest.raises(ProblemValidationError, match="header"):
+        load_event_trace(path)
