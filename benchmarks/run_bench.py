@@ -44,6 +44,7 @@ if __package__ in (None, ""):  # direct script invocation without install
         sys.path.insert(0, str(_src))
 
 from repro.core import RASAConfig, RASAScheduler  # noqa: E402
+from repro.durability import atomic_write_json  # noqa: E402
 from repro.workloads import load_cluster  # noqa: E402
 
 #: Schema tag written into every BENCH file (bump on breaking change).
@@ -204,7 +205,7 @@ def run_suite(
             document["baseline_file"] = prior_path.name
             document["regressions"] = compare(entries, prior, threshold)
 
-    path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    atomic_write_json(path, document, indent=1, sort_keys=True)
     print(f"wrote {path}")
     return path, document
 

@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Crash-recovery gate: SIGKILL a checkpointed replay, resume, demand
+bit-identical reports.
+
+The durability acceptance bar (DESIGN §12), run end to end through the
+real CLI in real processes:
+
+1. Compute the uninterrupted reference: ``api.replay_trace`` over the
+   first ``--cycles`` cycles of the reference trace.
+2. Launch ``python -m repro.cli replay --checkpoint-dir ...`` as a child
+   process and ``kill -9`` it once it has journaled a seeded-random
+   number of cycles — the kill lands at an arbitrary point of the
+   following cycle, exercising every crash window (mid-WAL-append,
+   between append and compaction, mid-compaction).
+3. Resume with the same CLI command and ``--report-out``; the resumed
+   report sequence must be bit-identical to the reference (modulo the
+   process-local ``metrics`` field).
+
+Scenarios: fault-free, under a seeded chaos plan, and (unless
+``--quick``) the chaos plan with 4 solve workers.  A separate case
+appends garbage to the WAL after the kill — torn-tail truncation must
+recover it, never silently accept it.
+
+Any mismatch exits 2 (the CI crash-recovery lane keys off this).
+
+Usage::
+
+    python benchmarks/run_crash_recovery.py            # all scenarios
+    python benchmarks/run_crash_recovery.py --quick    # skip the 4-worker pass
+    python benchmarks/run_crash_recovery.py --seed 7   # move the kill point
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # direct script invocation without install
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro import api  # noqa: E402
+from repro.core import RASAConfig  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.workloads.trace_io import load_event_trace  # noqa: E402
+
+DEFAULT_TRACE = Path(__file__).resolve().parent / "traces" / "reference_week.jsonl.gz"
+
+#: Same chaos plan family as the soak harness: enough fault pressure to
+#: exercise retries, degradation, and churn tags across the kill point.
+FAULT_PLAN = {
+    "seed": 42,
+    "command_failure_rate": 0.05,
+    "command_timeout_rate": 0.02,
+    "machine_failure_rate": 0.02,
+    "machine_flap_cycles": 2,
+    "stale_snapshot_rate": 0.1,
+    "snapshot_drop_fraction": 0.05,
+}
+
+
+def _stripped(report_dicts: list[dict]) -> list[dict]:
+    out = []
+    for entry in report_dicts:
+        d = dict(entry)
+        d.pop("metrics", None)
+        out.append(d)
+    return out
+
+
+def _completed_cycles(checkpoint_dir: Path) -> int:
+    """Cycles durably recoverable right now: snapshot base + full WAL lines.
+
+    Read-only and tear-tolerant — the child may be mid-append, so only
+    newline-terminated WAL lines count and snapshot parse errors (a read
+    racing the atomic replace) count as zero.
+    """
+    base = 0
+    snapshot_path = checkpoint_dir / "snapshot.json"
+    try:
+        base = int(json.loads(snapshot_path.read_text("utf-8"))["cycles_completed"])
+    except (OSError, ValueError, KeyError, TypeError):
+        base = 0
+    lines = 0
+    try:
+        raw = (checkpoint_dir / "wal.jsonl").read_bytes()
+        lines = raw.count(b"\n")
+    except OSError:
+        lines = 0
+    return base + lines
+
+
+def _cli_argv(trace: Path, cycles: int, checkpoint_dir: Path,
+              plan_path: Path | None, workers: int,
+              report_out: Path | None = None) -> list[str]:
+    argv = [
+        sys.executable, "-m", "repro.cli", "replay", str(trace),
+        "--cycles", str(cycles),
+        "--checkpoint-dir", str(checkpoint_dir),
+        "--checkpoint-every", "2",
+        "--quiet",
+    ]
+    if plan_path is not None:
+        argv += ["--fault-plan", str(plan_path)]
+    if workers > 1:
+        argv += ["--workers", str(workers)]
+    if report_out is not None:
+        argv += ["--report-out", str(report_out)]
+    return argv
+
+
+def _kill_child_mid_run(argv: list[str], checkpoint_dir: Path,
+                        kill_after: int, timeout: float = 600.0) -> bool:
+    """Run the CLI child and SIGKILL it once ``kill_after`` cycles are
+    journaled.  Returns False when the child finished first."""
+    child = subprocess.Popen(argv, stdout=subprocess.DEVNULL,
+                             stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            if child.poll() is not None:
+                return False  # ran to completion before the kill landed
+            if _completed_cycles(checkpoint_dir) >= kill_after:
+                child.send_signal(signal.SIGKILL)
+                child.wait(timeout=60)
+                return True
+            time.sleep(0.01)
+        raise RuntimeError(f"child made no progress within {timeout}s")
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=60)
+
+
+def run_scenario(name: str, *, trace_path: Path, trace, cycles: int,
+                 workers: int, plan_path: Path | None, work_dir: Path,
+                 kill_after: int, corrupt_tail: bool = False) -> bool:
+    """One kill -9 + resume round trip; True when bit-identical."""
+    print(f"--- scenario {name}: kill -9 after cycle {kill_after}"
+          f"{', then corrupt WAL tail' if corrupt_tail else ''}")
+    faults = FaultPlan.from_dict(FAULT_PLAN) if plan_path is not None else None
+    config = RASAConfig(workers=workers) if workers > 1 else None
+    reference = api.replay_trace(
+        trace, cycles=cycles, faults=faults, config=config,
+    )
+    ref_payload = _stripped([r.to_dict() for r in reference])
+
+    checkpoint_dir = work_dir / f"ck-{name}"
+    killed = _kill_child_mid_run(
+        _cli_argv(trace_path, cycles, checkpoint_dir, plan_path, workers),
+        checkpoint_dir, kill_after,
+    )
+    if not killed:
+        print("    note: child finished before the kill; resume is a no-op")
+    if corrupt_tail:
+        with open(checkpoint_dir / "wal.jsonl", "ab") as handle:
+            handle.write(b'{"crc32": 0, "payl')  # torn mid-append garbage
+
+    report_out = work_dir / f"reports-{name}.json"
+    code = subprocess.call(
+        _cli_argv(trace_path, cycles, checkpoint_dir, plan_path, workers,
+                  report_out=report_out),
+    )
+    if code != 0:
+        print(f"FAIL {name}: resume exited {code}")
+        return False
+    resumed = _stripped(json.loads(report_out.read_text("utf-8")))
+    if resumed != ref_payload:
+        diverged = next(
+            (i for i, (a, b) in enumerate(zip(resumed, ref_payload)) if a != b),
+            min(len(resumed), len(ref_payload)),
+        )
+        print(f"FAIL {name}: resumed run diverges from the uninterrupted "
+              f"reference at cycle {diverged} "
+              f"({len(resumed)} vs {len(ref_payload)} reports)")
+        return False
+    print(f"    ok: {len(resumed)} reports bit-identical (killed={killed})")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL a checkpointed replay and assert bit-identical resume"
+    )
+    parser.add_argument("--trace", type=Path, default=DEFAULT_TRACE,
+                        help="event trace to replay (default: reference week)")
+    parser.add_argument("--cycles", type=int, default=8,
+                        help="total cycles per scenario (default: 8)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the random kill points (default: 0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the 4-worker scenario")
+    parser.add_argument("--work-dir", type=Path, default=None,
+                        help="checkpoint/report scratch dir (default: a tmp dir)")
+    args = parser.parse_args(argv)
+
+    if not args.trace.exists():
+        print(f"error: trace {args.trace} not found", file=sys.stderr)
+        return 2
+    trace = load_event_trace(args.trace)
+
+    if args.work_dir is not None:
+        args.work_dir.mkdir(parents=True, exist_ok=True)
+        work_dir = args.work_dir
+    else:
+        import tempfile
+
+        work_dir = Path(tempfile.mkdtemp(prefix="crash-recovery-"))
+    plan_path = work_dir / "fault-plan.json"
+    FaultPlan.from_dict(FAULT_PLAN).save(plan_path)
+
+    os.environ.setdefault("PYTHONPATH", "")
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    if src not in os.environ["PYTHONPATH"].split(os.pathsep):
+        os.environ["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, os.environ["PYTHONPATH"]) if p
+        )
+
+    rng = random.Random(args.seed)
+    scenarios = [
+        ("baseline", None, 1, False),
+        ("faulted", plan_path, 1, False),
+        ("torn-tail", plan_path, 1, True),
+    ]
+    if not args.quick:
+        scenarios.append(("faulted-4w", plan_path, 4, False))
+
+    started = time.time()
+    ok = True
+    for name, plan, workers, corrupt in scenarios:
+        kill_after = rng.randint(1, max(1, args.cycles - 2))
+        ok &= run_scenario(
+            name, trace_path=args.trace, trace=trace, cycles=args.cycles,
+            workers=workers, plan_path=plan, work_dir=work_dir,
+            kill_after=kill_after, corrupt_tail=corrupt,
+        )
+    elapsed = time.time() - started
+    print(f"crash-recovery: {len(scenarios)} scenarios in {elapsed:.1f}s "
+          f"-> {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

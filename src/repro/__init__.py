@@ -6,9 +6,12 @@ Public API tour — start with the :mod:`repro.api` facade:
 * :func:`plan_migration` / :func:`execute_plan` — compute and replay
   SLA-safe migration paths (with optional fault injection and retries).
 * :func:`run_control_loop` — drive the CronJob control plane, optionally
-  under a chaos :class:`FaultPlan`.
+  under a chaos :class:`FaultPlan` and with durable checkpointing
+  (``checkpoint_dir``).
 * :func:`replay_trace` — drive the control plane against a recorded v2
   event trace (see :mod:`repro.cluster.replay`).
+* :func:`resume_control_loop` — continue a checkpointed run after a crash
+  with a bit-identical report sequence (see :mod:`repro.durability`).
 
 Model a cluster with :class:`Service`, :class:`Machine`,
 :class:`AntiAffinityRule`, and :class:`RASAProblem`; generate paper-shaped
@@ -28,6 +31,7 @@ from repro.api import (
     optimize,
     plan_migration,
     replay_trace,
+    resume_control_loop,
     run_control_loop,
 )
 from repro.core import (
@@ -42,7 +46,9 @@ from repro.core import (
 from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
 from repro.core.rasa import RASAResult, RASAScheduler, SubproblemReport
 from repro.exceptions import (
+    CheckpointDivergenceError,
     ClusterStateError,
+    DurabilityError,
     InfeasibleProblemError,
     MigrationError,
     ProblemValidationError,
@@ -50,6 +56,7 @@ from repro.exceptions import (
     SolverError,
     SolverTimeoutError,
     TrainingError,
+    WALCorruptionError,
 )
 from repro.faults import FaultInjector, FaultPlan
 from repro.migration import (
@@ -65,8 +72,10 @@ __all__ = [
     "AffinityGraph",
     "AntiAffinityRule",
     "Assignment",
+    "CheckpointDivergenceError",
     "ClusterStateError",
     "DegradationPolicy",
+    "DurabilityError",
     "ExecutionTrace",
     "FaultInjector",
     "FaultPlan",
@@ -89,11 +98,13 @@ __all__ = [
     "SolverTimeoutError",
     "SubproblemReport",
     "TrainingError",
+    "WALCorruptionError",
     "__version__",
     "api",
     "execute_plan",
     "optimize",
     "plan_migration",
     "replay_trace",
+    "resume_control_loop",
     "run_control_loop",
 ]

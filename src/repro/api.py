@@ -51,6 +51,7 @@ __all__ = [
     "optimize",
     "plan_migration",
     "replay_trace",
+    "resume_control_loop",
     "run_control_loop",
 ]
 
@@ -164,6 +165,9 @@ def run_control_loop(
     cycle_stream: "str | None" = None,
     on_telemetry_start: "Callable[[TelemetryServer], None] | None" = None,
     stream: "EventStreamCursor | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
+    checkpoint_every: int = 16,
+    shutdown=None,
 ) -> list[CycleReport]:
     """Drive the CronJob control plane for ``cycles`` cycles.
 
@@ -202,10 +206,27 @@ def run_control_loop(
             first applies the trace events due at the simulated clock.
             Must wrap the same :class:`ClusterState` passed as ``state``
             (:func:`replay_trace` wires this up for you).
+        checkpoint_dir: When set, journal every committed cycle to a
+            CRC-guarded write-ahead log in this directory and compact it
+            into an atomic snapshot every ``checkpoint_every`` cycles —
+            after a crash (kill -9 included), :func:`resume_control_loop`
+            continues the run with a bit-identical report sequence.
+        checkpoint_every: Cycles between WAL compactions.
+        shutdown: Optional
+            :class:`~repro.durability.supervisor.GracefulShutdown`; once
+            it is requested the loop finishes the in-flight cycle, writes
+            a final checkpoint, and returns early.
 
     Returns:
         One :class:`CycleReport` per cycle, in order.
     """
+    if checkpoint_dir is not None and collector is not None:
+        raise ValueError(
+            "checkpoint_dir cannot be combined with a caller-supplied "
+            "collector: a resumed run rebuilds its collector from the "
+            "checkpoint, which only records the default collector's "
+            "configuration (traffic_jitter_sigma and seed)"
+        )
     if isinstance(state, RASAProblem):
         state = ClusterState(state)
     if collector is None:
@@ -241,9 +262,37 @@ def run_control_loop(
         telemetry=hub,
         stream=stream,
     )
+    if checkpoint_dir is not None:
+        from repro.durability.loop import build_durable_loop
+
+        durable = build_durable_loop(
+            controller,
+            checkpoint_dir=checkpoint_dir,
+            total_cycles=cycles,
+            mode="replay" if stream is not None else "cron",
+            seed=seed,
+            traffic_jitter_sigma=traffic_jitter_sigma,
+            checkpoint_every=checkpoint_every,
+            shutdown=shutdown,
+        )
+        run = durable.run
+    else:
+
+        def run() -> list[CycleReport]:
+            should_stop = (
+                (lambda: shutdown.requested) if shutdown is not None else None
+            )
+            reports = controller.run(cycles, should_stop=should_stop)
+            if (
+                shutdown is not None
+                and shutdown.requested
+                and len(reports) < cycles
+            ):
+                shutdown.interrupted = True
+            return reports
     if telemetry_port is None:
         try:
-            return controller.run(cycles)
+            return run()
         finally:
             if writer is not None:
                 writer.close()
@@ -252,7 +301,7 @@ def run_control_loop(
         server.start()
         if on_telemetry_start is not None:
             on_telemetry_start(server)
-        return controller.run(cycles)
+        return run()
     finally:
         server.stop()
 
@@ -275,6 +324,9 @@ def replay_trace(
     telemetry_host: str = "127.0.0.1",
     cycle_stream: "str | None" = None,
     on_telemetry_start: "Callable[[TelemetryServer], None] | None" = None,
+    checkpoint_dir: "str | Path | None" = None,
+    checkpoint_every: int = 16,
+    shutdown=None,
 ) -> list[CycleReport]:
     """Replay a recorded event trace through the CronJob control plane.
 
@@ -330,4 +382,83 @@ def replay_trace(
         cycle_stream=cycle_stream,
         on_telemetry_start=on_telemetry_start,
         stream=cursor,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        shutdown=shutdown,
     )
+
+
+def resume_control_loop(
+    checkpoint_dir: "str | Path",
+    *,
+    cycles: int | None = None,
+    allow_cold_start: bool = False,
+    checkpoint_every: int | None = None,
+    telemetry_port: int | None = None,
+    telemetry_host: str = "127.0.0.1",
+    cycle_stream: "str | None" = None,
+    on_telemetry_start: "Callable[[TelemetryServer], None] | None" = None,
+    shutdown=None,
+) -> list[CycleReport]:
+    """Resume a checkpointed control loop after a crash or shutdown.
+
+    Loads the snapshot + WAL tail a previous :func:`run_control_loop` /
+    :func:`replay_trace` invocation (with ``checkpoint_dir``) left behind,
+    rebuilds the world from the checkpoint's embedded source, restores the
+    live state, and runs the remaining cycles.  The returned history —
+    restored cycles followed by freshly run ones — is bit-identical
+    (modulo the process-local ``metrics`` field) to what the uninterrupted
+    run would have returned, no matter where the previous process died.
+
+    A torn WAL tail (the record being written at the kill) is detected by
+    CRC and recovered by truncating back to the last good record; damage
+    in the *middle* of the log raises
+    :class:`~repro.exceptions.WALCorruptionError` instead of guessing.
+
+    Args:
+        checkpoint_dir: Directory the interrupted run journaled into.
+        cycles: New target for *total* cycles (restored + new); None keeps
+            the original run's target.
+        allow_cold_start: When the checkpoint no longer matches the world
+            it rebuilds (divergence), discard it and restart from cycle 0
+            instead of raising
+            :class:`~repro.exceptions.CheckpointDivergenceError`.
+        checkpoint_every: Override the recorded compaction cadence.
+        shutdown: Optional graceful-shutdown flag, as in
+            :func:`run_control_loop`.
+        (telemetry arguments as in :func:`run_control_loop`; restored
+        cycles are republished to the hub, and ``/healthz`` gains a
+        ``recovery`` block describing the resume.)
+
+    Returns:
+        The full report history, restored cycles included.
+    """
+    from repro.durability.loop import prepare_resume
+
+    hub = None
+    writer = None
+    if cycle_stream is not None or telemetry_port is not None:
+        writer = JsonlStreamWriter(cycle_stream) if cycle_stream else None
+        hub = TelemetryHub(stream=writer)
+    durable = prepare_resume(
+        checkpoint_dir,
+        cycles=cycles,
+        allow_cold_start=allow_cold_start,
+        checkpoint_every=checkpoint_every,
+        shutdown=shutdown,
+        telemetry=hub,
+    )
+    if telemetry_port is None:
+        try:
+            return durable.run()
+        finally:
+            if writer is not None:
+                writer.close()
+    server = TelemetryServer(hub, port=telemetry_port, host=telemetry_host)
+    try:
+        server.start()
+        if on_telemetry_start is not None:
+            on_telemetry_start(server)
+        return durable.run()
+    finally:
+        server.stop()

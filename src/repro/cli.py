@@ -30,14 +30,26 @@ Installed as the ``rasa`` console script via pyproject.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Callable
 
 from repro import api
 from repro.analysis import pair_localization_table, placement_metrics
 from repro.core import Assignment, DegradationPolicy, RASAConfig
-from repro.exceptions import ProblemValidationError
+from repro.durability import atomic_write_json
+from repro.durability.checkpoint import CheckpointStore
+from repro.durability.supervisor import (
+    EXIT_INTERRUPTED,
+    GracefulShutdown,
+    Supervisor,
+    SupervisorPolicy,
+    strip_supervisor_args,
+)
+from repro.exceptions import (
+    CheckpointDivergenceError,
+    DurabilityError,
+    ProblemValidationError,
+)
 from repro.faults import FaultPlan
 from repro.obs import (
     Tracer,
@@ -86,6 +98,52 @@ def _add_profile(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="capture per-span cProfile hotspot tables on partition/solve "
              "spans (adds overhead; implies span tracing)",
+    )
+
+
+def _add_durability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="journal every cycle to a write-ahead log in DIR and compact "
+             "it into atomic snapshots; if DIR already holds a checkpoint, "
+             "resume the interrupted run from it",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="cycles between WAL compactions into a snapshot (default: 16)",
+    )
+    parser.add_argument(
+        "--allow-cold-start",
+        action="store_true",
+        help="on checkpoint divergence (the world no longer matches the "
+             "saved state), discard the checkpoint and restart from cycle "
+             "0 instead of failing",
+    )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the loop in a supervised child process: crashes and "
+             "hangs restart it (resuming from the checkpoint) with "
+             "bounded exponential backoff; requires --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="restart budget for --supervise (default: 5)",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --supervise, kill and restart the child when its "
+             "checkpoint heartbeat goes stale for this long (default: off)",
     )
 
 
@@ -163,7 +221,11 @@ def _add_cron(subparsers) -> None:
         "cron", help="run the CronJob control loop on a trace"
     )
     parser.add_argument("trace", help="JSON trace file (needs a current assignment)")
-    parser.add_argument("--cycles", type=int, default=5)
+    parser.add_argument(
+        "--cycles", type=int, default=None,
+        help="total cycles to run (default: 5; on resume, the default "
+             "keeps the interrupted run's recorded target)",
+    )
     parser.add_argument("--time-limit", type=float, default=10.0,
                         help="per-cycle solver budget in seconds")
     parser.add_argument("--sla-floor", type=float, default=0.75,
@@ -196,6 +258,7 @@ def _add_cron(subparsers) -> None:
         metavar="PATH",
         help="append each finished cycle's report as one JSON line to PATH",
     )
+    _add_durability(parser)
     _add_parallel(parser)
     _add_profile(parser)
     _add_common(parser)
@@ -251,6 +314,7 @@ def _add_replay(subparsers) -> None:
         metavar="PATH",
         help="append each finished cycle's report as one JSON line to PATH",
     )
+    _add_durability(parser)
     _add_parallel(parser)
     _add_profile(parser)
     _add_common(parser)
@@ -425,21 +489,44 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _has_checkpoint(args: argparse.Namespace) -> bool:
+    """Whether --checkpoint-dir already holds a resumable snapshot."""
+    directory = getattr(args, "checkpoint_dir", None)
+    if not directory:
+        return False
+    return CheckpointStore(directory).snapshot_path.exists()
+
+
+def _write_report(args: argparse.Namespace, reports, out) -> int:
+    """Write --report-out atomically; returns 0 on success, 1 on failure."""
+    try:
+        atomic_write_json(
+            args.report_out, [r.to_dict() for r in reports], indent=1
+        )
+        out(f"wrote report to {args.report_out}")
+    except OSError as exc:
+        print(f"error: could not write report: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_cron(args: argparse.Namespace) -> int:
     out = _make_output(args)
-    problem = load_trace(args.trace)
-    if problem.current_assignment is None:
-        out("trace has no current assignment; cannot run the control loop")
-        return 1
-
+    resume = _has_checkpoint(args)
+    problem = None
     faults = None
-    if args.fault_plan:
-        try:
-            faults = FaultPlan.load(args.fault_plan)
-        except (OSError, ValueError, ProblemValidationError) as exc:
-            print(f"error: could not load fault plan: {exc}", file=sys.stderr)
+    if not resume:
+        problem = load_trace(args.trace)
+        if problem.current_assignment is None:
+            out("trace has no current assignment; cannot run the control loop")
             return 1
-        out(f"fault plan: {faults.to_dict()}")
+        if args.fault_plan:
+            try:
+                faults = FaultPlan.load(args.fault_plan)
+            except (OSError, ValueError, ProblemValidationError) as exc:
+                print(f"error: could not load fault plan: {exc}", file=sys.stderr)
+                return 1
+            out(f"fault plan: {faults.to_dict()}")
     try:
         degradation = DegradationPolicy.parse(args.degradation_policy)
     except (ValueError, ProblemValidationError) as exc:
@@ -457,21 +544,51 @@ def cmd_cron(args: argparse.Namespace) -> int:
     def announce(server) -> None:
         out(f"telemetry: {server.url} (/metrics /healthz /cycles /trace)")
 
+    shutdown = GracefulShutdown()
     try:
-        reports = api.run_control_loop(
-            problem,
-            cycles=args.cycles,
-            config=_scheduler_config(args),
-            faults=faults,
-            time_limit=args.time_limit,
-            sla_floor=args.sla_floor,
-            degradation=degradation,
-            telemetry_port=args.telemetry_port,
-            cycle_stream=args.cycle_stream,
-            on_telemetry_start=(
-                announce if args.telemetry_port is not None else None
-            ),
+        with shutdown:
+            if resume:
+                out(f"resuming from checkpoint {args.checkpoint_dir}")
+                reports = api.resume_control_loop(
+                    args.checkpoint_dir,
+                    cycles=args.cycles,
+                    allow_cold_start=args.allow_cold_start,
+                    checkpoint_every=args.checkpoint_every,
+                    telemetry_port=args.telemetry_port,
+                    cycle_stream=args.cycle_stream,
+                    on_telemetry_start=(
+                        announce if args.telemetry_port is not None else None
+                    ),
+                    shutdown=shutdown,
+                )
+            else:
+                reports = api.run_control_loop(
+                    problem,
+                    cycles=args.cycles if args.cycles is not None else 5,
+                    config=_scheduler_config(args),
+                    faults=faults,
+                    time_limit=args.time_limit,
+                    sla_floor=args.sla_floor,
+                    degradation=degradation,
+                    telemetry_port=args.telemetry_port,
+                    cycle_stream=args.cycle_stream,
+                    on_telemetry_start=(
+                        announce if args.telemetry_port is not None else None
+                    ),
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    shutdown=shutdown,
+                )
+    except CheckpointDivergenceError as exc:
+        print(
+            f"error: {exc}\n(pass --allow-cold-start to discard the "
+            f"checkpoint and restart from cycle 0)",
+            file=sys.stderr,
         )
+        return 1
+    except DurabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if tracer is not None:
             set_tracer(previous)
@@ -497,38 +614,43 @@ def cmd_cron(args: argparse.Namespace) -> int:
     if exit_code:
         out("SLA floor violated in at least one cycle")
     if args.report_out:
-        try:
-            with open(args.report_out, "w", encoding="utf-8") as handle:
-                json.dump([r.to_dict() for r in reports], handle, indent=1)
-            out(f"wrote report to {args.report_out}")
-        except OSError as exc:
-            print(f"error: could not write report: {exc}", file=sys.stderr)
-            exit_code = 1
+        exit_code = _write_report(args, reports, out) or exit_code
+    if shutdown.interrupted:
+        if args.checkpoint_dir:
+            out(
+                f"interrupted by {shutdown.signal_name}; final checkpoint "
+                f"written, resume with the same --checkpoint-dir"
+            )
+        else:
+            out(f"interrupted by {shutdown.signal_name}")
+        return EXIT_INTERRUPTED
     return exit_code
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
     out = _make_output(args)
-    try:
-        trace = load_event_trace(args.trace)
-    except (OSError, ProblemValidationError) as exc:
-        print(f"error: could not load event trace: {exc}", file=sys.stderr)
-        return 1
-    cycles = args.cycles if args.cycles is not None else trace.num_cycles()
-    out(
-        f"trace {trace.name!r}: {len(trace.events)} events, "
-        f"{trace.base.num_services} services / {trace.base.num_machines} "
-        f"machines, replaying {cycles} cycles"
-    )
-
+    resume = _has_checkpoint(args)
+    trace = None
     faults = None
-    if args.fault_plan:
+    if not resume:
         try:
-            faults = FaultPlan.load(args.fault_plan)
-        except (OSError, ValueError, ProblemValidationError) as exc:
-            print(f"error: could not load fault plan: {exc}", file=sys.stderr)
+            trace = load_event_trace(args.trace)
+        except (OSError, ProblemValidationError) as exc:
+            print(f"error: could not load event trace: {exc}", file=sys.stderr)
             return 1
-        out(f"fault plan: {faults.to_dict()}")
+        cycles = args.cycles if args.cycles is not None else trace.num_cycles()
+        out(
+            f"trace {trace.name!r}: {len(trace.events)} events, "
+            f"{trace.base.num_services} services / {trace.base.num_machines} "
+            f"machines, replaying {cycles} cycles"
+        )
+        if args.fault_plan:
+            try:
+                faults = FaultPlan.load(args.fault_plan)
+            except (OSError, ValueError, ProblemValidationError) as exc:
+                print(f"error: could not load fault plan: {exc}", file=sys.stderr)
+                return 1
+            out(f"fault plan: {faults.to_dict()}")
     try:
         degradation = DegradationPolicy.parse(args.degradation_policy)
     except (ValueError, ProblemValidationError) as exc:
@@ -544,23 +666,53 @@ def cmd_replay(args: argparse.Namespace) -> int:
     def announce(server) -> None:
         out(f"telemetry: {server.url} (/metrics /healthz /cycles /trace)")
 
+    shutdown = GracefulShutdown()
     try:
-        reports = api.replay_trace(
-            trace,
-            cycles=args.cycles,
-            config=_scheduler_config(args),
-            faults=faults,
-            time_limit=args.time_limit,
-            sla_floor=args.sla_floor,
-            degradation=degradation,
-            traffic_jitter_sigma=args.jitter,
-            seed=args.seed,
-            telemetry_port=args.telemetry_port,
-            cycle_stream=args.cycle_stream,
-            on_telemetry_start=(
-                announce if args.telemetry_port is not None else None
-            ),
+        with shutdown:
+            if resume:
+                out(f"resuming from checkpoint {args.checkpoint_dir}")
+                reports = api.resume_control_loop(
+                    args.checkpoint_dir,
+                    cycles=args.cycles,
+                    allow_cold_start=args.allow_cold_start,
+                    checkpoint_every=args.checkpoint_every,
+                    telemetry_port=args.telemetry_port,
+                    cycle_stream=args.cycle_stream,
+                    on_telemetry_start=(
+                        announce if args.telemetry_port is not None else None
+                    ),
+                    shutdown=shutdown,
+                )
+            else:
+                reports = api.replay_trace(
+                    trace,
+                    cycles=args.cycles,
+                    config=_scheduler_config(args),
+                    faults=faults,
+                    time_limit=args.time_limit,
+                    sla_floor=args.sla_floor,
+                    degradation=degradation,
+                    traffic_jitter_sigma=args.jitter,
+                    seed=args.seed,
+                    telemetry_port=args.telemetry_port,
+                    cycle_stream=args.cycle_stream,
+                    on_telemetry_start=(
+                        announce if args.telemetry_port is not None else None
+                    ),
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    shutdown=shutdown,
+                )
+    except CheckpointDivergenceError as exc:
+        print(
+            f"error: {exc}\n(pass --allow-cold-start to discard the "
+            f"checkpoint and restart from cycle 0)",
+            file=sys.stderr,
         )
+        return 1
+    except DurabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if tracer is not None:
             set_tracer(previous)
@@ -585,13 +737,16 @@ def cmd_replay(args: argparse.Namespace) -> int:
     if exit_code:
         out("SLA floor violated in at least one cycle")
     if args.report_out:
-        try:
-            with open(args.report_out, "w", encoding="utf-8") as handle:
-                json.dump([r.to_dict() for r in reports], handle, indent=1)
-            out(f"wrote report to {args.report_out}")
-        except OSError as exc:
-            print(f"error: could not write report: {exc}", file=sys.stderr)
-            exit_code = 1
+        exit_code = _write_report(args, reports, out) or exit_code
+    if shutdown.interrupted:
+        if args.checkpoint_dir:
+            out(
+                f"interrupted by {shutdown.signal_name}; final checkpoint "
+                f"written, resume with the same --checkpoint-dir"
+            )
+        else:
+            out(f"interrupted by {shutdown.signal_name}")
+        return EXIT_INTERRUPTED
     return exit_code
 
 
@@ -607,9 +762,26 @@ COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw)
     if getattr(args, "log_level", None):
         configure_logging(args.log_level)
+    if getattr(args, "supervise", False):
+        if not getattr(args, "checkpoint_dir", None):
+            print("error: --supervise requires --checkpoint-dir",
+                  file=sys.stderr)
+            return 1
+        # Re-exec the same command line (minus the supervisor flags) in a
+        # child process; crashes and hangs restart it, and each restart
+        # auto-resumes from the checkpoint directory.
+        child_argv = [sys.executable, "-m", "repro.cli"]
+        child_argv += strip_supervisor_args(raw)
+        policy = SupervisorPolicy(
+            max_restarts=args.max_restarts, hang_timeout=args.hang_timeout
+        )
+        return Supervisor(
+            child_argv, args.checkpoint_dir, policy=policy
+        ).run()
     return COMMANDS[args.command](args)
 
 

@@ -57,6 +57,39 @@ class DataCollector:
         self._rng = np.random.default_rng(seed)
         self._last_problem: RASAProblem | None = None
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_payload(self) -> dict:
+        """JSON-safe capture of the collector's evolving state.
+
+        Two things advance as cycles run: the jitter RNG and the memory of
+        the last collected problem (which gates the stale-snapshot fault
+        draw — see :meth:`collect`).  Both must survive a restart for a
+        resumed run to stay bit-identical to an uninterrupted one.
+        """
+        from repro.workloads.trace_io import problem_to_dict
+
+        return {
+            "rng": self._rng.bit_generator.state,
+            "last_problem": (
+                problem_to_dict(self._last_problem)
+                if self._last_problem is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a capture written by :meth:`state_payload`."""
+        from repro.workloads.trace_io import problem_from_dict
+
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = payload["rng"]
+        last = payload.get("last_problem")
+        self._last_problem = (
+            problem_from_dict(last) if last is not None else None
+        )
+
     def collect(
         self,
         state: ClusterState,

@@ -508,12 +508,33 @@ class CronJobController:
             sla_ok=outcome.boundaries_safe,
         )
 
-    def run(self, cycles: int) -> list[CycleReport]:
-        """Run several cycles, advancing the simulated clock between them."""
+    def run(
+        self,
+        cycles: int,
+        *,
+        on_cycle=None,
+        should_stop=None,
+    ) -> list[CycleReport]:
+        """Run several cycles, advancing the simulated clock between them.
+
+        Args:
+            cycles: Number of cycles to run.
+            on_cycle: Optional callback invoked with each
+                :class:`CycleReport` after the clock has advanced — the
+                durability layer journals the committed cycle here, so a
+                crash during the callback re-runs nothing.
+            should_stop: Optional predicate checked between cycles; a True
+                return ends the run early (graceful shutdown).
+        """
         reports = []
         for _ in range(cycles):
-            reports.append(self.run_once())
+            if should_stop is not None and should_stop():
+                break
+            report = self.run_once()
             self.state.advance(self.interval_seconds)
+            if on_cycle is not None:
+                on_cycle(report)
+            reports.append(report)
         return reports
 
     # ------------------------------------------------------------------

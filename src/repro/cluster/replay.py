@@ -695,6 +695,39 @@ class EventStreamCursor:
             applied.append(self.world.apply(event))
         return applied
 
+    def seek(self, position: int) -> int:
+        """Fast-forward to an absolute event position (checkpoint resume).
+
+        Applies events ``[position_now, position)`` regardless of their
+        timestamps — the world's books after N events depend only on the
+        events themselves, so a fresh cursor sought to a checkpoint's
+        recorded position rebuilds the same world the crashed process had.
+
+        Returns the number of events applied.
+
+        Raises:
+            ClusterStateError: On a rewind (cursors never go backwards) or
+                a position beyond the end of the trace.
+        """
+        events = self.trace.events
+        if position < self._pos:
+            raise ClusterStateError(
+                f"cannot seek cursor backwards ({self._pos} -> {position}); "
+                f"build a fresh cursor from the trace"
+            )
+        if position > len(events):
+            raise ClusterStateError(
+                f"seek target {position} beyond end of trace "
+                f"({len(events)} events)"
+            )
+        applied = 0
+        while self._pos < position:
+            event = events[self._pos]
+            self._pos += 1
+            self.world.apply(event)
+            applied += 1
+        return applied
+
 
 # ----------------------------------------------------------------------
 # Seeded trace synthesis (the reference-trace recorder)

@@ -155,6 +155,59 @@ class ClusterState:
             )
         self._x = placement.copy()
 
+    def named_placement(self) -> dict[str, dict[str, int]]:
+        """The placement keyed by service and machine *names*.
+
+        The checkpoint serialization: row/column indices are an artifact
+        of one process's problem object, but names survive a restart and
+        make divergence (a service or machine that no longer exists)
+        detectable instead of silently mis-assigned.  Zero counts are
+        omitted.
+        """
+        out: dict[str, dict[str, int]] = {}
+        services = self.problem.service_names()
+        machines = self.problem.machine_names()
+        for s, svc in enumerate(services):
+            row = {
+                machines[m]: int(count)
+                for m, count in enumerate(self._x[s])
+                if count
+            }
+            if row:
+                out[svc] = row
+        return out
+
+    def restore_named(self, mapping: dict[str, dict[str, int]]) -> None:
+        """Overwrite the placement from a :meth:`named_placement` capture.
+
+        The full matrix is built before any assignment, so a divergent
+        capture never leaves the state partially mutated.
+
+        Raises:
+            ClusterStateError: When the capture references a service or
+                machine this cluster does not know — the world changed
+                between checkpoint and resume.
+        """
+        services = {name: i for i, name in enumerate(self.problem.service_names())}
+        machines = {name: j for j, name in enumerate(self.problem.machine_names())}
+        x = np.zeros_like(self._x)
+        for svc, row in mapping.items():
+            s = services.get(svc)
+            if s is None:
+                raise ClusterStateError(
+                    f"checkpoint places unknown service {svc!r} "
+                    f"(torn down since the checkpoint?)"
+                )
+            for mach, count in row.items():
+                m = machines.get(mach)
+                if m is None:
+                    raise ClusterStateError(
+                        f"checkpoint places {svc!r} on unknown machine "
+                        f"{mach!r} (reclaimed since the checkpoint?)"
+                    )
+                x[s, m] = int(count)
+        self._x = x
+
     def rebind(self, problem: RASAProblem, placement: np.ndarray | None = None) -> None:
         """Swap in a new problem definition *in place*, preserving identity.
 

@@ -1,0 +1,91 @@
+"""Atomic file writes: temp file + rename, with fsync.
+
+Every artifact the toolkit persists — cycle reports, benchmark points,
+metrics/trace exports, trace files, checkpoints — goes through
+:func:`atomic_write` so a crash mid-write can never leave a half-written
+file behind: the data lands in a temporary sibling first, is flushed and
+fsync'd, then atomically renamed over the destination (:func:`os.replace`
+is atomic on POSIX when source and target share a filesystem, which a
+same-directory temp file guarantees).
+
+This module is dependency-free on purpose: it is imported by low-level
+modules (``repro.obs``, ``repro.workloads.trace_io``) that the rest of
+the durability package builds on, so it must not import them back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Flush a directory entry so a just-renamed file survives power loss.
+
+    Best-effort: directory fds are a POSIX notion, so failures (e.g. on
+    platforms or filesystems that refuse ``open(dir)``) are swallowed —
+    the rename itself already happened.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: str | Path, data: str | bytes, *, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    Readers never observe a partial file: they see either the previous
+    content or the complete new content.  The temporary file is created
+    in the destination directory (rename is only atomic within one
+    filesystem) and unlinked on any failure.
+
+    Args:
+        path: Destination file.
+        data: Content to write; ``str`` is encoded as UTF-8.
+        fsync: Flush file and directory to stable storage before
+            returning.  Leave on for durability-critical artifacts; tests
+            writing many throwaway files may turn it off for speed.
+    """
+    path = Path(path)
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or Path(".")
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(path.parent or Path("."))
+
+
+def atomic_write_json(
+    path: str | Path,
+    payload,
+    *,
+    indent: int | None = None,
+    sort_keys: bool = False,
+    fsync: bool = True,
+) -> None:
+    """JSON-serialize ``payload`` and :func:`atomic_write` it to ``path``."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    atomic_write(path, text + "\n", fsync=fsync)

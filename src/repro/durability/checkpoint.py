@@ -1,0 +1,211 @@
+"""Checkpoint directory layout: atomic snapshot + WAL tail + supervisor state.
+
+A checkpoint directory holds the durable state of one control loop:
+
+* ``snapshot.json`` — the latest compaction: run configuration, the
+  serialized run *source* (event trace or problem), every completed
+  cycle's report, and the live-state capture at compaction time.  Written
+  atomically (temp file + rename) and format-versioned like trace v2.
+* ``wal.jsonl`` — one CRC-guarded record per cycle completed since the
+  snapshot (see :mod:`repro.durability.wal`).  Compaction absorbs the
+  records into a fresh snapshot and truncates the log.
+* ``supervisor.json`` — restart bookkeeping written by the
+  :mod:`repro.durability.supervisor` (absent for unsupervised runs).
+
+Crash windows are closed by ordering: the snapshot is renamed into place
+*before* the WAL is truncated, so a crash in between leaves stale WAL
+records for cycles the snapshot already covers — :meth:`CheckpointStore.load`
+drops them (``cycle < cycles_completed``) and verifies the survivors form
+a contiguous continuation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.durability.atomic import atomic_write_json
+from repro.durability.wal import WALReplay, WriteAheadLog
+from repro.exceptions import DurabilityError, WALCorruptionError
+from repro.obs import get_metrics
+
+#: Format version written into every checkpoint snapshot.
+CHECKPOINT_FORMAT_VERSION = 1
+
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.jsonl"
+SUPERVISOR_FILE = "supervisor.json"
+
+
+@dataclass
+class CheckpointState:
+    """Everything :meth:`CheckpointStore.load` recovered from disk.
+
+    Attributes:
+        snapshot: The parsed snapshot document (None when none exists).
+        wal_records: Cycle records appended after the snapshot, stale
+            pre-compaction leftovers already filtered out.
+        truncated_records: Torn trailing WAL lines discarded by recovery.
+        stale_records: WAL records dropped because the snapshot already
+            covered their cycles (crash between snapshot and truncate).
+    """
+
+    snapshot: dict | None = None
+    wal_records: list[dict] = field(default_factory=list)
+    truncated_records: int = 0
+    stale_records: int = 0
+
+    @property
+    def cycles_completed(self) -> int:
+        """Completed cycles recoverable from snapshot + WAL tail."""
+        base = int(self.snapshot["cycles_completed"]) if self.snapshot else 0
+        return base + len(self.wal_records)
+
+
+class CheckpointStore:
+    """One control loop's durable home directory.
+
+    Args:
+        directory: Checkpoint directory; created if missing.
+        fsync: Flush writes to stable storage (see :class:`WriteAheadLog`).
+    """
+
+    def __init__(self, directory: str | Path, *, fsync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.wal = WriteAheadLog(self.directory / WAL_FILE, fsync=fsync)
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / SNAPSHOT_FILE
+
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / WAL_FILE
+
+    @property
+    def supervisor_path(self) -> Path:
+        return self.directory / SUPERVISOR_FILE
+
+    def exists(self) -> bool:
+        """Whether any durable state (snapshot or WAL records) is present."""
+        if self.snapshot_path.exists():
+            return True
+        return self.wal_path.exists() and self.wal_path.stat().st_size > 0
+
+    # ------------------------------------------------------------------
+    def append_cycle(self, record: dict) -> None:
+        """Durably journal one committed cycle."""
+        self.wal.append(record)
+
+    def write_snapshot(self, payload: dict) -> None:
+        """Compact: atomically write a snapshot, then truncate the WAL.
+
+        The payload gains ``format_version``/``kind`` headers; the caller
+        supplies ``run``/``source``/``cycles_completed``/``reports``/
+        ``live`` (see :mod:`repro.durability.loop`).
+        """
+        document = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "kind": "control_loop_checkpoint",
+            **payload,
+        }
+        atomic_write_json(
+            self.snapshot_path, document, sort_keys=True, fsync=self.fsync
+        )
+        self.wal.reset()
+        get_metrics().counter("durability.checkpoint.compactions").inc()
+
+    # ------------------------------------------------------------------
+    def load(self) -> CheckpointState:
+        """Recover snapshot + WAL tail, validating format and continuity.
+
+        Raises:
+            DurabilityError: On an unreadable or wrong-format snapshot.
+            WALCorruptionError: On mid-log WAL damage or a gap in the
+                surviving cycle sequence.
+        """
+        state = CheckpointState()
+        if self.snapshot_path.exists():
+            try:
+                snapshot = json.loads(self.snapshot_path.read_text("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise DurabilityError(
+                    f"checkpoint snapshot {self.snapshot_path} is not valid "
+                    f"JSON: {exc}"
+                ) from exc
+            if not isinstance(snapshot, dict):
+                raise DurabilityError("checkpoint snapshot must be an object")
+            version = snapshot.get("format_version")
+            if version != CHECKPOINT_FORMAT_VERSION:
+                raise DurabilityError(
+                    f"unsupported checkpoint format version {version!r} "
+                    f"(expected {CHECKPOINT_FORMAT_VERSION})"
+                )
+            if snapshot.get("kind") != "control_loop_checkpoint":
+                raise DurabilityError(
+                    f"unexpected checkpoint kind {snapshot.get('kind')!r}"
+                )
+            state.snapshot = snapshot
+
+        replay: WALReplay = self.wal.replay(repair=True)
+        state.truncated_records = replay.truncated_records
+        base = (
+            int(state.snapshot["cycles_completed"]) if state.snapshot else 0
+        )
+        expected = base
+        for record in replay.records:
+            cycle = record.get("cycle")
+            if not isinstance(cycle, int):
+                raise WALCorruptionError(
+                    f"WAL record without an integer cycle in {self.wal_path}"
+                )
+            if cycle < base:
+                # Crash landed between snapshot rename and WAL truncate;
+                # the snapshot already covers this cycle.
+                state.stale_records += 1
+                continue
+            if cycle != expected:
+                raise WALCorruptionError(
+                    f"WAL cycle sequence gap in {self.wal_path}: expected "
+                    f"cycle {expected}, found {cycle}"
+                )
+            state.wal_records.append(record)
+            expected += 1
+        return state
+
+    # ------------------------------------------------------------------
+    def heartbeat_age(self, now: float | None = None) -> float | None:
+        """Seconds since the loop last persisted anything (None: never).
+
+        The supervisor's hang detector: every committed cycle touches the
+        WAL (or, at a compaction, the snapshot), so a stuck loop shows up
+        as a growing heartbeat age.
+        """
+        latest = None
+        for path in (self.wal_path, self.snapshot_path):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            latest = mtime if latest is None else max(latest, mtime)
+        if latest is None:
+            return None
+        return (now if now is not None else time.time()) - latest
+
+    def read_supervisor(self) -> dict | None:
+        """The supervisor's restart bookkeeping, if any."""
+        try:
+            payload = json.loads(self.supervisor_path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def write_supervisor(self, payload: dict) -> None:
+        atomic_write_json(
+            self.supervisor_path, payload, indent=1, fsync=self.fsync
+        )

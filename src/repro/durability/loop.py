@@ -1,0 +1,483 @@
+"""Durable control loop: journal every cycle, compact, resume after kill -9.
+
+Wraps a :class:`~repro.cluster.cronjob.CronJobController` so that each
+completed cycle is durably journaled (committed :class:`CycleReport`,
+post-apply placement by name, replay-cursor position, collector RNG and
+last-snapshot state, fault-injector cycle key) and periodically compacted
+into an atomic, self-contained snapshot.  After a crash at *any* point,
+:func:`prepare_resume` rebuilds the world from the snapshot's embedded
+source (event trace or problem), fast-forwards the replay cursor, restores
+the live state, and continues the loop — producing a CycleReport sequence
+bit-identical (modulo the process-local ``metrics`` field, the repo's
+established determinism contract) to an uninterrupted run.
+
+Why this restores exactly what it does: the solve phase is a pure function
+of the collected problem (the partitioner re-seeds its RNG per call and
+the schedulers are stateless), the fault injector re-keys per cycle from
+``(plan.seed, cycle)``, and :class:`ReplayWorld`'s books are placement-
+independent under event application — so resume determinism needs only
+the placement, clock, churn tags, cursor position, collector state
+(jitter RNG + last problem, which gates the stale-snapshot fault draw),
+and the cycle index implied by the restored history length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import TYPE_CHECKING
+
+from repro.cluster.collector import DataCollector
+from repro.cluster.cronjob import IMPROVEMENT_GATE, CronJobController, CycleReport
+from repro.cluster.state import ClusterState
+from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
+from repro.core.rasa import RASAScheduler
+from repro.durability.checkpoint import CheckpointStore
+from repro.exceptions import CheckpointDivergenceError, ClusterStateError, DurabilityError
+from repro.faults import coerce_injector
+from repro.obs import get_logger, get_metrics, kv
+from repro.workloads.trace_io import problem_from_dict, problem_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.replay import EventStreamCursor
+    from repro.obs.server import TelemetryHub
+
+#: Default cycles between WAL compactions into a fresh snapshot.
+DEFAULT_CHECKPOINT_EVERY = 16
+
+
+# ----------------------------------------------------------------------
+# Live-state capture / restore
+# ----------------------------------------------------------------------
+def capture_live(controller: CronJobController) -> dict:
+    """Serialize everything resume needs beyond the run source + history."""
+    state = controller.state
+    live: dict = {
+        "clock": float(state.clock),
+        "placement": state.named_placement(),
+        "unschedulable_until": {
+            str(name): float(until)
+            for name, until in state.unschedulable_until.items()
+        },
+        "cursor_position": (
+            int(controller.stream.position)
+            if controller.stream is not None
+            else None
+        ),
+        "collector": controller.collector.state_payload(),
+        "fault": (
+            controller.faults.state_payload()
+            if controller.faults is not None
+            else None
+        ),
+    }
+    return live
+
+
+def _restore_live(controller: CronJobController, live: dict) -> None:
+    """Apply a captured live state to a freshly rebuilt world.
+
+    Raises:
+        CheckpointDivergenceError: When the capture no longer matches the
+            rebuilt cluster structure.
+    """
+    state = controller.state
+    try:
+        if controller.stream is not None:
+            position = live.get("cursor_position")
+            if position is None:
+                raise ClusterStateError(
+                    "replay checkpoint is missing the cursor position"
+                )
+            controller.stream.seek(int(position))
+        state.restore_named(live["placement"])
+        target_clock = float(live["clock"])
+        state.advance(target_clock - state.clock)
+        state.unschedulable_until = {
+            str(name): float(until)
+            for name, until in dict(live["unschedulable_until"]).items()
+        }
+        controller.collector.restore_state(live["collector"])
+        if controller.faults is not None and live.get("fault") is not None:
+            controller.faults.restore_state(live["fault"])
+    except (ClusterStateError, KeyError, TypeError, ValueError) as exc:
+        raise CheckpointDivergenceError(
+            f"checkpoint does not match the rebuilt cluster: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Run / source payloads (what makes a snapshot self-contained)
+# ----------------------------------------------------------------------
+def _build_run_payload(
+    controller: CronJobController,
+    *,
+    mode: str,
+    total_cycles: int,
+    seed: int,
+    traffic_jitter_sigma: float,
+    checkpoint_every: int,
+) -> dict:
+    return {
+        "mode": mode,
+        "cycles": int(total_cycles),
+        "interval_seconds": float(controller.interval_seconds),
+        "time_limit": controller.time_limit,
+        "improvement_gate": float(controller.improvement_gate),
+        "sla_floor": float(controller.sla_floor),
+        "rollback_imbalance": controller.rollback_imbalance,
+        "seed": int(seed),
+        "traffic_jitter_sigma": float(traffic_jitter_sigma),
+        "degradation": asdict(controller.degradation),
+        "retry": asdict(controller.retry),
+        "fault_plan": (
+            controller.faults.plan.to_dict()
+            if controller.faults is not None
+            else None
+        ),
+        "config": asdict(controller.rasa.config),
+        "checkpoint_every": int(checkpoint_every),
+    }
+
+
+def _build_source_payload(controller: CronJobController) -> dict:
+    if controller.stream is not None:
+        trace = controller.stream.trace
+        return {
+            "trace": {
+                "name": trace.name,
+                "seed": int(trace.seed),
+                "interval_seconds": float(trace.interval_seconds),
+                "description": trace.description,
+                "base": problem_to_dict(trace.base),
+                "events": [event.to_dict() for event in trace.events],
+            }
+        }
+    return {"problem": problem_to_dict(controller.state.problem)}
+
+
+def _rebuild_world(
+    run: dict, source: dict
+) -> tuple[ClusterState, DataCollector, "EventStreamCursor | None"]:
+    """Reconstruct a fresh world from a snapshot's run + source payloads."""
+    if run["mode"] == "replay":
+        from repro.cluster.replay import EventTrace, event_from_dict
+
+        payload = source["trace"]
+        trace = EventTrace(
+            base=problem_from_dict(payload["base"]),
+            events=[event_from_dict(e) for e in payload.get("events", [])],
+            name=str(payload.get("name", "trace")),
+            seed=int(payload.get("seed", 0)),
+            interval_seconds=float(payload.get("interval_seconds", 1800.0)),
+            description=str(payload.get("description", "")),
+        )
+        cursor = trace.cursor()
+        collector = DataCollector(
+            stream=cursor,
+            traffic_jitter_sigma=run["traffic_jitter_sigma"],
+            seed=run["seed"],
+        )
+        return cursor.state, collector, cursor
+    problem = problem_from_dict(source["problem"])
+    state = ClusterState(problem)
+    collector = DataCollector(
+        dict(problem.affinity.items()),
+        traffic_jitter_sigma=run["traffic_jitter_sigma"],
+        seed=run["seed"],
+    )
+    return state, collector, None
+
+
+def _build_controller(
+    run: dict,
+    state: ClusterState,
+    collector: DataCollector,
+    cursor: "EventStreamCursor | None",
+    telemetry: "TelemetryHub | None",
+    history: list[CycleReport],
+) -> CronJobController:
+    return CronJobController(
+        state=state,
+        collector=collector,
+        rasa=RASAScheduler(config=RASAConfig(**run["config"])),
+        interval_seconds=float(run["interval_seconds"]),
+        time_limit=run["time_limit"],
+        improvement_gate=float(run.get("improvement_gate", IMPROVEMENT_GATE)),
+        rollback_imbalance=run.get("rollback_imbalance"),
+        sla_floor=float(run["sla_floor"]),
+        faults=coerce_injector(run.get("fault_plan")),
+        degradation=DegradationPolicy(**run["degradation"]),
+        retry=RetryPolicy(**run["retry"]),
+        telemetry=telemetry,
+        stream=cursor,
+        history=history,
+    )
+
+
+# ----------------------------------------------------------------------
+# The durable loop driver
+# ----------------------------------------------------------------------
+class DurableControlLoop:
+    """Drives a controller to a target cycle count with WAL + checkpoints.
+
+    Built by :func:`build_durable_loop` (fresh runs) or
+    :func:`prepare_resume` (recovery); :meth:`run` then journals each
+    committed cycle, compacts every ``checkpoint_every`` cycles, and
+    honors a :class:`~repro.durability.supervisor.GracefulShutdown` by
+    finishing the in-flight cycle and writing a final checkpoint.
+    """
+
+    def __init__(
+        self,
+        *,
+        controller: CronJobController,
+        store: CheckpointStore,
+        run_payload: dict,
+        source_payload: dict,
+        total_cycles: int,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        shutdown=None,
+    ) -> None:
+        self.controller = controller
+        self.store = store
+        self.run_payload = run_payload
+        self.source_payload = source_payload
+        self.total_cycles = int(total_cycles)
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.shutdown = shutdown
+        #: True when a shutdown request stopped the loop before the target.
+        self.interrupted = False
+        #: Cycles restored from the checkpoint (0 for a fresh run).
+        self.resumed_cycles = 0
+        #: True when resume fell back to a guarded cold start.
+        self.cold_start = False
+        #: Torn WAL records truncated while loading the checkpoint.
+        self.truncated_records = 0
+        self._since_snapshot = 0
+
+    # ------------------------------------------------------------------
+    def _snapshot_payload(self) -> dict:
+        return {
+            "run": self.run_payload,
+            "source": self.source_payload,
+            "cycles_completed": len(self.controller.history),
+            "reports": [r.to_dict() for r in self.controller.history],
+            "live": capture_live(self.controller),
+        }
+
+    def checkpoint(self) -> None:
+        """Compact the journal into a fresh snapshot now."""
+        self.store.write_snapshot(self._snapshot_payload())
+        self._since_snapshot = 0
+
+    def _commit_cycle(self, report: CycleReport) -> None:
+        record = {
+            "kind": "cycle",
+            "cycle": report.cycle,
+            "report": report.to_dict(),
+            "live": capture_live(self.controller),
+        }
+        self.store.append_cycle(record)
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.checkpoint_every:
+            self.checkpoint()
+
+    def _should_stop(self) -> bool:
+        return self.shutdown is not None and self.shutdown.requested
+
+    def run(self) -> list[CycleReport]:
+        """Run to the target cycle count (or a graceful-shutdown request).
+
+        Returns the full report history — restored cycles included — so a
+        resumed run hands back the same list an uninterrupted one would.
+        """
+        # The initial snapshot makes cycle 0 recoverable and, on resume,
+        # immediately absorbs the recovered WAL tail.
+        self.checkpoint()
+        remaining = self.total_cycles - len(self.controller.history)
+        if remaining > 0:
+            self.controller.run(
+                remaining,
+                on_cycle=self._commit_cycle,
+                should_stop=self._should_stop,
+            )
+        self.interrupted = (
+            self._should_stop()
+            and len(self.controller.history) < self.total_cycles
+        )
+        if self.shutdown is not None and self.interrupted:
+            self.shutdown.interrupted = True
+        if self._since_snapshot:
+            self.checkpoint()
+        return list(self.controller.history)
+
+
+def build_durable_loop(
+    controller: CronJobController,
+    *,
+    checkpoint_dir,
+    total_cycles: int,
+    mode: str,
+    seed: int = 0,
+    traffic_jitter_sigma: float = 0.0,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    shutdown=None,
+) -> DurableControlLoop:
+    """Wrap a freshly built controller with WAL + checkpoint persistence."""
+    store = CheckpointStore(checkpoint_dir)
+    run_payload = _build_run_payload(
+        controller,
+        mode=mode,
+        total_cycles=total_cycles,
+        seed=seed,
+        traffic_jitter_sigma=traffic_jitter_sigma,
+        checkpoint_every=checkpoint_every,
+    )
+    source_payload = _build_source_payload(controller)
+    return DurableControlLoop(
+        controller=controller,
+        store=store,
+        run_payload=run_payload,
+        source_payload=source_payload,
+        total_cycles=total_cycles,
+        checkpoint_every=checkpoint_every,
+        shutdown=shutdown,
+    )
+
+
+# ----------------------------------------------------------------------
+# Resume
+# ----------------------------------------------------------------------
+def prepare_resume(
+    checkpoint_dir,
+    *,
+    cycles: int | None = None,
+    allow_cold_start: bool = False,
+    checkpoint_every: int | None = None,
+    shutdown=None,
+    telemetry: "TelemetryHub | None" = None,
+) -> DurableControlLoop:
+    """Rebuild a durable loop from a checkpoint directory.
+
+    Replays snapshot + WAL tail, reconstructs the world from the
+    snapshot's embedded source, fast-forwards the replay cursor, restores
+    placement/clock/tags/collector/injector state, and returns a loop
+    whose :meth:`~DurableControlLoop.run` continues exactly where the
+    crashed process stopped.
+
+    Args:
+        checkpoint_dir: Directory a previous durable run wrote.
+        cycles: New target cycle count; None keeps the recorded target.
+        allow_cold_start: On checkpoint divergence, discard the saved
+            progress and restart from cycle 0 instead of raising.
+        checkpoint_every: Override the recorded compaction cadence.
+        shutdown: Optional :class:`GracefulShutdown` to honor.
+        telemetry: Optional hub; restored reports are republished to it
+            and its ``/healthz`` payload gains the recovery status.
+
+    Raises:
+        DurabilityError: When the directory holds no usable checkpoint.
+        WALCorruptionError: On unrecoverable (mid-log) WAL damage.
+        CheckpointDivergenceError: When the saved state no longer matches
+            the rebuilt cluster and ``allow_cold_start`` is False.
+    """
+    logger = get_logger("durability.resume")
+    metrics = get_metrics()
+    store = CheckpointStore(checkpoint_dir)
+    checkpoint = store.load()
+    if checkpoint.snapshot is None:
+        raise DurabilityError(
+            f"no checkpoint snapshot under {store.directory} "
+            f"(nothing to resume)"
+        )
+    run = dict(checkpoint.snapshot["run"])
+    source = checkpoint.snapshot["source"]
+    total = int(cycles) if cycles is not None else int(run["cycles"])
+    run["cycles"] = total
+    if checkpoint_every is not None:
+        run["checkpoint_every"] = int(checkpoint_every)
+
+    report_payloads = list(checkpoint.snapshot.get("reports", []))
+    report_payloads += [record["report"] for record in checkpoint.wal_records]
+    live = (
+        checkpoint.wal_records[-1]["live"]
+        if checkpoint.wal_records
+        else checkpoint.snapshot.get("live")
+    )
+
+    history = [CycleReport.from_dict(p) for p in report_payloads]
+    state, collector, cursor = _rebuild_world(run, source)
+    controller = _build_controller(
+        run, state, collector, cursor, telemetry, history
+    )
+    cold = False
+    try:
+        if live is not None:
+            _restore_live(controller, live)
+    except CheckpointDivergenceError as exc:
+        if not allow_cold_start:
+            raise
+        logger.warning(
+            "checkpoint diverged; cold start %s",
+            kv(directory=str(store.directory), error=str(exc)),
+        )
+        metrics.counter("durability.resume.cold_starts").inc()
+        cold = True
+        state, collector, cursor = _rebuild_world(run, source)
+        controller = _build_controller(
+            run, state, collector, cursor, telemetry, []
+        )
+
+    resumed = len(controller.history)
+    metrics.counter("durability.resume.count").inc()
+    metrics.gauge("durability.resume.cycle").set(resumed)
+    logger.info(
+        "resume %s",
+        kv(
+            directory=str(store.directory),
+            resumed_cycles=resumed,
+            target_cycles=total,
+            wal_records=len(checkpoint.wal_records),
+            truncated_records=checkpoint.truncated_records,
+            cold_start=cold,
+        ),
+    )
+    # Counters/gauges survive the restart via the last report's snapshot
+    # (histograms restart empty — their reservoirs are process-local).
+    if controller.history:
+        last = controller.history[-1].metrics
+        metrics.merge(
+            {
+                "counters": dict(last.get("counters", {})),
+                "gauges": dict(last.get("gauges", {})),
+            }
+        )
+    if telemetry is not None:
+        for report in controller.history:
+            telemetry.publish_cycle(report)
+        telemetry.set_recovery(
+            {
+                "resumed": True,
+                "cold_start": cold,
+                "resumed_cycles": resumed,
+                "target_cycles": total,
+                "wal_records": len(checkpoint.wal_records),
+                "truncated_records": checkpoint.truncated_records,
+                "supervisor": store.read_supervisor(),
+            }
+        )
+    loop = DurableControlLoop(
+        controller=controller,
+        store=store,
+        run_payload=run,
+        source_payload=source,
+        total_cycles=total,
+        checkpoint_every=int(
+            run.get("checkpoint_every", DEFAULT_CHECKPOINT_EVERY)
+        ),
+        shutdown=shutdown,
+    )
+    loop.resumed_cycles = resumed
+    loop.cold_start = cold
+    loop.truncated_records = checkpoint.truncated_records
+    return loop

@@ -46,3 +46,28 @@ class ClusterStateError(ReproError):
     Examples: deleting a container that does not exist, or creating a
     container on a machine without sufficient free resources.
     """
+
+
+class DurabilityError(ReproError):
+    """Base class for checkpoint/WAL persistence failures."""
+
+
+class WALCorruptionError(DurabilityError):
+    """A write-ahead-log record failed its CRC or continuity check.
+
+    A torn *tail* (the record being written when the process died) is
+    recovered by truncation and never raises; this error means damage in
+    the middle of the log — valid records follow the bad one, or the
+    surviving cycle sequence has a gap — which cannot be repaired safely.
+    """
+
+
+class CheckpointDivergenceError(DurabilityError):
+    """A checkpoint no longer matches the cluster rebuilt from its source.
+
+    Raised on resume when the saved placement references services or
+    machines the rebuilt world does not know (or vice versa) — e.g. the
+    trace or problem file changed between checkpoint and resume.  Pass
+    ``allow_cold_start=True`` (CLI ``--allow-cold-start``) to discard the
+    checkpoint and restart the loop from cycle 0 instead.
+    """

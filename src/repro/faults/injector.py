@@ -67,6 +67,32 @@ class FaultInjector:
         self._cycle = None
         self._rng = np.random.default_rng(np.random.SeedSequence(self.plan.seed))
 
+    @property
+    def cycle(self) -> int | None:
+        """The cycle the stream is currently keyed to (None before any)."""
+        return self._cycle
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_payload(self) -> dict:
+        """JSON-safe capture of the injector's stream keying.
+
+        Because each cycle re-keys the stream from ``(plan.seed, cycle)``
+        and the control plane finishes a cycle's draws before the WAL
+        record is written, the cycle key alone restores the injector — the
+        next ``begin_cycle`` call re-derives everything else.
+        """
+        return {"cycle": self._cycle}
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a capture written by :meth:`state_payload`."""
+        cycle = payload.get("cycle")
+        if cycle is None:
+            self.reset()
+        else:
+            self.begin_cycle(int(cycle))
+
     # ------------------------------------------------------------------
     # Injection points
     # ------------------------------------------------------------------

@@ -115,9 +115,10 @@ class FaultPlan:
         return cls(**payload)
 
     def save(self, path) -> None:
-        """Write the plan as JSON to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=1)
+        """Write the plan as JSON to ``path`` (atomic replace)."""
+        from repro.durability.atomic import atomic_write_json
+
+        atomic_write_json(path, self.to_dict(), indent=1)
 
     @classmethod
     def load(cls, path) -> "FaultPlan":

@@ -21,7 +21,6 @@ attribute assignment being an atomic swap.
 
 from __future__ import annotations
 
-import json
 import random
 import threading
 from typing import Any, Iterator
@@ -247,9 +246,10 @@ class MetricsRegistry:
             }
 
     def export(self, path) -> None:
-        """Write :meth:`snapshot` as JSON to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.snapshot(), handle, indent=1)
+        """Write :meth:`snapshot` as JSON to ``path`` (atomic replace)."""
+        from repro.durability.atomic import atomic_write_json
+
+        atomic_write_json(path, self.snapshot(), indent=1)
 
     # ------------------------------------------------------------------
     # Cross-process transfer (parallel subproblem workers)

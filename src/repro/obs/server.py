@@ -57,6 +57,7 @@ class TelemetryHub:
     def __init__(self, stream: JsonlStreamWriter | None = None) -> None:
         self._lock = threading.Lock()
         self._cycles: list[dict[str, Any]] = []
+        self._recovery: dict[str, Any] | None = None
         self.stream = stream
 
     # ------------------------------------------------------------------
@@ -67,6 +68,16 @@ class TelemetryHub:
             self._cycles.append(payload)
         if self.stream is not None:
             self.stream.write({"kind": "cycle", **payload})
+
+    def set_recovery(self, info: dict[str, Any] | None) -> None:
+        """Record crash-recovery status surfaced on ``/healthz``.
+
+        Set by :func:`repro.durability.loop.prepare_resume` after a
+        checkpoint resume (resumed/cold-start cycle counts, WAL recovery
+        stats, supervisor restart bookkeeping); None for fresh runs.
+        """
+        with self._lock:
+            self._recovery = dict(info) if info is not None else None
 
     def cycles(self) -> list[dict[str, Any]]:
         """Every published cycle report, in order."""
@@ -84,9 +95,11 @@ class TelemetryHub:
         with self._lock:
             latest = self._cycles[-1] if self._cycles else None
             count = len(self._cycles)
+            recovery = dict(self._recovery) if self._recovery else None
         if latest is None:
             return {"status": "idle", "cycles": 0, "sla_ok": None,
-                    "rungs": [], "action": None, "gained_affinity": None}
+                    "rungs": [], "action": None, "gained_affinity": None,
+                    "recovery": recovery}
         sla_ok = bool(latest["sla_ok"])
         rungs = list(latest["rungs"])
         if not sla_ok:
@@ -104,6 +117,7 @@ class TelemetryHub:
             "action": latest["action"],
             "gained_affinity": latest["gained_after"],
             "min_alive_fraction": latest["min_alive_fraction"],
+            "recovery": recovery,
         }
 
 

@@ -25,7 +25,6 @@ stay cheap unless tracing is explicitly enabled with :func:`set_tracer`.
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from dataclasses import dataclass, field
@@ -276,9 +275,10 @@ class Tracer:
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def export(self, path) -> None:
-        """Write the Chrome trace-event JSON document to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_chrome(), handle, indent=1)
+        """Write the Chrome trace-event JSON document to ``path`` (atomic)."""
+        from repro.durability.atomic import atomic_write_json
+
+        atomic_write_json(path, self.to_chrome(), indent=1)
 
     def summary(self) -> str:
         """Plain-text tree of span names, durations, and tags."""

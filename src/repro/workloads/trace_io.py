@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.affinity import AffinityGraph
 from repro.core.problem import AntiAffinityRule, Machine, RASAProblem, Service
+from repro.durability.atomic import atomic_write
 from repro.exceptions import ProblemValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (replay uses us)
@@ -150,8 +151,8 @@ def problem_from_dict(payload: dict) -> RASAProblem:
 
 
 def save_trace(problem: RASAProblem, path: str | Path) -> None:
-    """Write a problem to a JSON trace file."""
-    Path(path).write_text(json.dumps(problem_to_dict(problem), indent=2))
+    """Write a problem to a JSON trace file (atomic replace)."""
+    atomic_write(Path(path), json.dumps(problem_to_dict(problem), indent=2))
 
 
 def load_trace(path: str | Path) -> RASAProblem:
@@ -204,9 +205,9 @@ def save_event_trace(trace: "EventTrace", path: str | Path) -> None:
         buf = io.BytesIO()
         with gzip.GzipFile(filename="", mode="wb", fileobj=buf, mtime=0) as gz:
             gz.write(data)
-        path.write_bytes(buf.getvalue())
+        atomic_write(path, buf.getvalue())
     else:
-        path.write_bytes(data)
+        atomic_write(path, data)
 
 
 def load_event_trace(path: str | Path) -> "EventTrace":

@@ -205,3 +205,87 @@ def test_replay_with_fault_plan(event_trace_path, tmp_path, capsys):
     ])
     assert code == 0
     assert "fault plan:" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Durability: checkpoint / resume / supervise
+# ----------------------------------------------------------------------
+def _load_stripped(path):
+    import json
+
+    reports = json.loads(path.read_text())
+    for entry in reports:
+        entry.pop("metrics", None)
+    return reports
+
+
+def test_replay_checkpoint_and_resume(event_trace_path, tmp_path, capsys):
+    ck = tmp_path / "ck"
+    ref_out = tmp_path / "ref.json"
+    assert main([
+        "replay", str(event_trace_path), "--cycles", "4",
+        "--report-out", str(ref_out),
+    ]) == 0
+    assert main([
+        "replay", str(event_trace_path), "--cycles", "2",
+        "--checkpoint-dir", str(ck),
+    ]) == 0
+    assert (ck / "snapshot.json").exists()
+    capsys.readouterr()
+
+    resumed_out = tmp_path / "resumed.json"
+    assert main([
+        "replay", str(event_trace_path), "--cycles", "4",
+        "--checkpoint-dir", str(ck), "--report-out", str(resumed_out),
+    ]) == 0
+    assert "resuming from checkpoint" in capsys.readouterr().out
+    assert _load_stripped(resumed_out) == _load_stripped(ref_out)
+
+
+def test_cron_checkpoint_and_resume(trace_path, tmp_path, capsys):
+    ck = tmp_path / "ck"
+    assert main([
+        "cron", str(trace_path), "--cycles", "2", "--time-limit", "6",
+        "--checkpoint-dir", str(ck),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "cron", str(trace_path), "--cycles", "3", "--time-limit", "6",
+        "--checkpoint-dir", str(ck),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "resuming from checkpoint" in out
+    assert "cycles: 3" in out  # 2 restored + 1 freshly run
+
+
+def test_resume_divergence_hints_cold_start(event_trace_path, tmp_path, capsys):
+    import json
+
+    ck = tmp_path / "ck"
+    assert main([
+        "replay", str(event_trace_path), "--cycles", "2",
+        "--checkpoint-dir", str(ck),
+    ]) == 0
+    snapshot_path = ck / "snapshot.json"
+    snapshot = json.loads(snapshot_path.read_text())
+    placement = snapshot["live"]["placement"]
+    placement["ghost-service"] = placement.pop(sorted(placement)[0])
+    snapshot_path.write_text(json.dumps(snapshot))
+    capsys.readouterr()
+
+    assert main([
+        "replay", str(event_trace_path), "--cycles", "3",
+        "--checkpoint-dir", str(ck),
+    ]) == 1
+    assert "--allow-cold-start" in capsys.readouterr().err
+
+    assert main([
+        "replay", str(event_trace_path), "--cycles", "3",
+        "--checkpoint-dir", str(ck), "--allow-cold-start",
+    ]) == 0
+
+
+def test_supervise_requires_checkpoint_dir(event_trace_path, capsys):
+    code = main(["replay", str(event_trace_path), "--supervise"])
+    assert code == 1
+    assert "--supervise requires --checkpoint-dir" in capsys.readouterr().err

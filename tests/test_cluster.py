@@ -100,6 +100,67 @@ def test_state_restore(tiny_problem):
         state.restore(np.zeros((2, 2), dtype=np.int64))
 
 
+def test_named_placement_roundtrip(small_cluster):
+    state = ClusterState(small_cluster.problem)
+    captured = state.named_placement()
+    assert captured  # the generated cluster ships a current assignment
+    other = ClusterState(
+        small_cluster.problem,
+        placement=np.zeros_like(state.placement),
+    )
+    other.restore_named(captured)
+    assert (other.placement == state.placement).all()
+    assert other.named_placement() == captured
+
+
+def test_named_placement_omits_zero_counts(tiny_problem):
+    state = ClusterState(tiny_problem, placement=np.zeros((3, 3), dtype=np.int64))
+    state.create_container("a", "m0")
+    assert state.named_placement() == {"a": {"m0": 1}}
+
+
+def test_restore_named_rejects_torn_down_service(tiny_problem):
+    state = ClusterState(tiny_problem, placement=np.zeros((3, 3), dtype=np.int64))
+    with pytest.raises(ClusterStateError, match="torn down"):
+        state.restore_named({"ghost": {"m0": 1}})
+
+
+def test_restore_named_rejects_reclaimed_machine(tiny_problem):
+    state = ClusterState(tiny_problem, placement=np.zeros((3, 3), dtype=np.int64))
+    with pytest.raises(ClusterStateError, match="reclaimed"):
+        state.restore_named({"a": {"m-gone": 1}})
+
+
+def test_restore_named_never_partially_mutates(small_cluster):
+    state = ClusterState(small_cluster.problem)
+    before = state.placement
+    capture = state.named_placement()
+    capture["ghost"] = {"m-gone": 1}  # divergent entry sorts after real ones
+    with pytest.raises(ClusterStateError):
+        state.restore_named(capture)
+    assert (state.placement == before).all()
+
+
+def test_restore_named_zeroes_services_missing_from_capture(tiny_problem):
+    # A service deployed between checkpoint and resume is absent from the
+    # capture: it restores to zero containers (the default scheduler
+    # re-places it) instead of raising.
+    state = ClusterState(tiny_problem)
+    state.restore_named({"a": {"m0": 4}})
+    assert state.named_placement() == {"a": {"m0": 4}}
+
+
+def test_restore_named_handles_drained_machine(tiny_problem):
+    # A machine still in the cluster but absent from every capture row
+    # (drained before the checkpoint) simply restores empty.
+    state = ClusterState(tiny_problem)
+    state.restore_named({"a": {"m1": 4}, "b": {"m1": 4}})
+    placement = state.placement
+    machines = [m.name for m in tiny_problem.machines]
+    assert placement[:, machines.index("m0")].sum() == 0
+    assert placement[:, machines.index("m2")].sum() == 0
+
+
 # ----------------------------------------------------------------------
 # DefaultScheduler
 # ----------------------------------------------------------------------
