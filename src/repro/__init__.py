@@ -12,6 +12,9 @@ Public API tour — start with the :mod:`repro.api` facade:
   event trace (see :mod:`repro.cluster.replay`).
 * :func:`resume_control_loop` — continue a checkpointed run after a crash
   with a bit-identical report sequence (see :mod:`repro.durability`).
+* :func:`start_service` / :class:`ServiceClient` — run and talk to the
+  multi-tenant optimizer service: N named clusters as independent tenants
+  behind a versioned REST control plane (see :mod:`repro.service`).
 
 Model a cluster with :class:`Service`, :class:`Machine`,
 :class:`AntiAffinityRule`, and :class:`RASAProblem`; generate paper-shaped
@@ -33,6 +36,7 @@ from repro.api import (
     replay_trace,
     resume_control_loop,
     run_control_loop,
+    start_service,
 )
 from repro.core import (
     AffinityGraph,
@@ -94,6 +98,7 @@ __all__ = [
     "ReproError",
     "RetryPolicy",
     "Service",
+    "ServiceClient",
     "SolverError",
     "SolverTimeoutError",
     "SubproblemReport",
@@ -107,4 +112,15 @@ __all__ = [
     "replay_trace",
     "resume_control_loop",
     "run_control_loop",
+    "start_service",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: importing repro should not pay for the HTTP client stack
+    # unless the service surface is actually used.
+    if name == "ServiceClient":
+        from repro.service.client import ServiceClient
+
+        return ServiceClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

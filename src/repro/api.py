@@ -12,6 +12,13 @@ Four functions cover the library's workflows end to end:
 * :func:`replay_trace` — drive the control plane against a recorded
   v2 event trace (deploys, scaling, traffic shifts, machine churn).
 
+The service surface rides on the same facade:
+
+* :func:`start_service` — run the multi-tenant optimizer service
+  (:mod:`repro.service`): N named clusters as independent tenants behind
+  a versioned REST control plane.
+* :class:`ServiceClient` — stdlib HTTP client for that control plane.
+
 Each facade function is a thin, stable wrapper over the class-based layer
 (:class:`~repro.core.rasa.RASAScheduler`,
 :class:`~repro.migration.path.MigrationPathBuilder`,
@@ -21,6 +28,12 @@ the underlying call would — the classes remain available for advanced
 composition (custom partitioners, selectors, schedulers), but new code
 should start here: keyword-only signatures keep call sites readable and
 let the underlying constructors evolve without breaking callers.
+
+Calling convention, uniform across the facade: each function takes its
+data subjects (problem, assignments, plan, trace, checkpoint dir)
+positionally and *every* tunable keyword-only — positional tunables are
+rejected by the signatures themselves (enforced by a test over
+``api.__all__``).
 """
 
 from __future__ import annotations
@@ -31,7 +44,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from repro.cluster.collector import DataCollector
-from repro.cluster.cronjob import CronJobController, CycleReport
+from repro.cluster.cronjob import CronJobController, CycleReport, facade_construction
 from repro.cluster.state import ClusterState
 from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
 from repro.core.problem import RASAProblem
@@ -39,21 +52,36 @@ from repro.core.rasa import RASAResult, RASAScheduler
 from repro.core.solution import Assignment
 from repro.faults import FaultInjector, FaultPlan, coerce_injector
 from repro.migration.executor import ExecutionTrace, MigrationExecutor
-from repro.obs import JsonlStreamWriter, TelemetryHub, TelemetryServer
 from repro.migration.path import MigrationPathBuilder
 from repro.migration.plan import MigrationPlan
+from repro.obs import JsonlStreamWriter, TelemetryHub, TelemetryServer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.replay import EventStreamCursor, EventTrace
+    from repro.service.app import OptimizerService
+    from repro.service.client import ServiceClient  # noqa: F401 - re-export
 
 __all__ = [
+    "ServiceClient",
     "execute_plan",
     "optimize",
     "plan_migration",
     "replay_trace",
     "resume_control_loop",
     "run_control_loop",
+    "start_service",
 ]
+
+
+def __getattr__(name: str):
+    # ServiceClient is re-exported lazily: repro.service imports this
+    # module for the shared controller wiring, so a top-level import here
+    # would be circular.
+    if name == "ServiceClient":
+        from repro.service.client import ServiceClient
+
+        return ServiceClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _coerce_assignment(
@@ -63,6 +91,63 @@ def _coerce_assignment(
     if isinstance(assignment, Assignment):
         return assignment
     return Assignment(problem, np.asarray(assignment))
+
+
+def _build_loop_controller(
+    state: "ClusterState | RASAProblem",
+    *,
+    collector: DataCollector | None = None,
+    stream: "EventStreamCursor | None" = None,
+    config: RASAConfig | None = None,
+    faults: "FaultPlan | FaultInjector | dict | None" = None,
+    time_limit: float | None = 10.0,
+    interval_seconds: float = 1800.0,
+    sla_floor: float = 0.75,
+    rollback_imbalance: float | None = None,
+    degradation: DegradationPolicy | None = None,
+    retry: RetryPolicy | None = None,
+    traffic_jitter_sigma: float = 0.0,
+    seed: int = 0,
+    telemetry: TelemetryHub | None = None,
+) -> CronJobController:
+    """Shared controller wiring for every supported control-loop entry.
+
+    :func:`run_control_loop` and the multi-tenant service's per-tenant
+    loops both build their controller here, which is what makes a
+    tenant's cycle reports bit-identical to the equivalent single-tenant
+    run — same collector defaults, same policy defaults, same injector
+    coercion, in the same order.
+    """
+    if isinstance(state, RASAProblem):
+        state = ClusterState(state)
+    if collector is None:
+        if stream is not None:
+            collector = DataCollector(
+                stream=stream,
+                traffic_jitter_sigma=traffic_jitter_sigma,
+                seed=seed,
+            )
+        else:
+            collector = DataCollector(
+                dict(state.problem.affinity.items()),
+                traffic_jitter_sigma=traffic_jitter_sigma,
+                seed=seed,
+            )
+    with facade_construction():
+        return CronJobController(
+            state=state,
+            collector=collector,
+            rasa=RASAScheduler(config=config),
+            time_limit=time_limit,
+            interval_seconds=interval_seconds,
+            sla_floor=sla_floor,
+            rollback_imbalance=rollback_imbalance,
+            faults=coerce_injector(faults),
+            degradation=degradation or DegradationPolicy(),
+            retry=retry or RetryPolicy(),
+            telemetry=telemetry,
+            stream=stream,
+        )
 
 
 def optimize(
@@ -227,40 +312,27 @@ def run_control_loop(
             "checkpoint, which only records the default collector's "
             "configuration (traffic_jitter_sigma and seed)"
         )
-    if isinstance(state, RASAProblem):
-        state = ClusterState(state)
-    if collector is None:
-        if stream is not None:
-            collector = DataCollector(
-                stream=stream,
-                traffic_jitter_sigma=traffic_jitter_sigma,
-                seed=seed,
-            )
-        else:
-            collector = DataCollector(
-                dict(state.problem.affinity.items()),
-                traffic_jitter_sigma=traffic_jitter_sigma,
-                seed=seed,
-            )
     hub = None
     server = None
     writer = None
     if cycle_stream is not None or telemetry_port is not None:
         writer = JsonlStreamWriter(cycle_stream) if cycle_stream else None
         hub = TelemetryHub(stream=writer)
-    controller = CronJobController(
-        state=state,
+    controller = _build_loop_controller(
+        state,
         collector=collector,
-        rasa=RASAScheduler(config=config),
+        stream=stream,
+        config=config,
+        faults=faults,
         time_limit=time_limit,
         interval_seconds=interval_seconds,
         sla_floor=sla_floor,
         rollback_imbalance=rollback_imbalance,
-        faults=coerce_injector(faults),
-        degradation=degradation or DegradationPolicy(),
-        retry=retry or RetryPolicy(),
+        degradation=degradation,
+        retry=retry,
+        traffic_jitter_sigma=traffic_jitter_sigma,
+        seed=seed,
         telemetry=hub,
-        stream=stream,
     )
     if checkpoint_dir is not None:
         from repro.durability.loop import build_durable_loop
@@ -462,3 +534,59 @@ def resume_control_loop(
         return durable.run()
     finally:
         server.stop()
+
+
+def start_service(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 4,
+    checkpoint_root: "str | Path | None" = None,
+    resume: bool = True,
+    tick_seconds: float = 0.5,
+) -> "OptimizerService":
+    """Start the multi-tenant optimizer service and return it running.
+
+    The service manages N named clusters as independent tenants behind a
+    versioned REST control plane (``/v1/tenants/...``): register a
+    cluster from a problem or event-trace payload, push collector
+    snapshots, trigger or cron-schedule optimization cycles, fetch
+    migration plans and cycle reports, and scrape per-tenant ``/healthz``
+    and ``/metrics``.  Tenant control loops shard onto a bounded worker
+    pool (consistent-hash tenant → slot); each tenant keeps its own
+    checkpoint directory, fault plan, and degradation policy.
+
+    Args:
+        host: Bind address (loopback by default; the control plane is
+            plaintext and unauthenticated).
+        port: TCP port; 0 binds an ephemeral one (read ``service.url``).
+        workers: Worker-thread count for the tenant controller pool.
+        checkpoint_root: When set, each tenant checkpoints under
+            ``<checkpoint_root>/<tenant>``; on startup, tenants found
+            there are resumed (unless ``resume`` is False).
+        resume: Whether to resume checkpointed tenants found under
+            ``checkpoint_root`` at startup.
+        tick_seconds: Cadence of the cron ticker that fires scheduled
+            tenant cycles.
+
+    Returns:
+        The running :class:`~repro.service.app.OptimizerService`; call
+        ``service.stop()`` (or use it as a context manager) to shut it
+        down with final per-tenant checkpoints.
+    """
+    from repro.service.app import OptimizerService, ServiceConfig
+
+    service = OptimizerService(
+        ServiceConfig(
+            host=host,
+            port=port,
+            workers=workers,
+            checkpoint_root=(
+                None if checkpoint_root is None else Path(checkpoint_root)
+            ),
+            resume=resume,
+            tick_seconds=tick_seconds,
+        )
+    )
+    service.start()
+    return service

@@ -15,6 +15,13 @@ Subcommands mirror the workflows a cluster operator needs:
 * ``rasa replay`` — drive the control loop against a recorded v2 event
   trace (service deploys/teardowns, scaling, traffic shifts, machine
   churn), replaying the whole stream by default.
+* ``rasa serve`` — run the multi-tenant optimizer service: N named
+  clusters as independent tenants behind a versioned REST control plane
+  (register/deregister, push snapshots, trigger or cron-schedule cycles,
+  fetch plans and reports, per-tenant ``/healthz`` and ``/metrics``).
+* ``rasa tenant`` — client for a running service (``register``, ``list``,
+  ``show``, ``cycles``, ``reports``, ``plan``, ``push``, ``schedule``,
+  ``health``, ``deregister``).
 
 Every subcommand accepts ``--log-level`` (structured ``repro.*`` logging
 to stderr) and ``--quiet`` (suppress the plain-text stdout report);
@@ -30,7 +37,9 @@ Installed as the ``rasa`` console script via pyproject.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Callable
 
 from repro import api
@@ -60,7 +69,12 @@ from repro.obs import (
     set_tracer,
 )
 from repro.workloads import ClusterSpec, generate_cluster, load_cluster
-from repro.workloads.trace_io import load_event_trace, load_trace, save_trace
+from repro.workloads.trace_io import (
+    load_event_trace,
+    load_trace,
+    problem_to_dict,
+    save_trace,
+)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -320,6 +334,112 @@ def _add_replay(subparsers) -> None:
     _add_common(parser)
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the multi-tenant optimizer service"
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="TCP port; 0 binds an ephemeral one (default: 8080)")
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker threads in the tenant controller pool (default: 4)",
+    )
+    parser.add_argument(
+        "--checkpoint-root", metavar="DIR",
+        help="checkpoint each tenant under DIR/<name>; on startup, resume "
+             "every tenant found there",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="do not resume checkpointed tenants found under "
+             "--checkpoint-root at startup",
+    )
+    parser.add_argument(
+        "--tick-seconds", type=float, default=0.5, metavar="SECONDS",
+        help="cron-ticker cadence for scheduled tenants (default: 0.5)",
+    )
+    _add_common(parser)
+
+
+def _add_tenant(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "tenant", help="talk to a running optimizer service"
+    )
+    actions = parser.add_subparsers(dest="tenant_action", required=True)
+
+    def _add_client_opts(sub) -> None:
+        sub.add_argument(
+            "--url", default="http://127.0.0.1:8080", metavar="URL",
+            help="service base URL (default: http://127.0.0.1:8080)",
+        )
+        sub.add_argument(
+            "--timeout", type=float, default=600.0, metavar="SECONDS",
+            help="per-request timeout; blocking cycle triggers run full "
+                 "optimization cycles before responding (default: 600)",
+        )
+
+    register = actions.add_parser("register", help="register a tenant")
+    _add_client_opts(register)
+    register.add_argument("name", help="tenant name (URL-safe)")
+    register.add_argument("trace", help="v1 problem trace or v2 event trace")
+    register.add_argument(
+        "--event-trace", action="store_true",
+        help="treat TRACE as a v2 event trace and register a replay tenant",
+    )
+    register.add_argument("--time-limit", type=float, default=None,
+                          help="per-cycle solver budget (default: unlimited)")
+    register.add_argument("--sla-floor", type=float, default=0.75)
+    register.add_argument("--seed", type=int, default=0,
+                          help="collector jitter-stream seed")
+    register.add_argument("--jitter", type=float, default=0.0, metavar="SIGMA",
+                          help="traffic-measurement drift (default: 0)")
+    register.add_argument("--fault-plan", metavar="PATH",
+                          help="JSON FaultPlan enabling seeded chaos")
+    register.add_argument(
+        "--schedule", type=float, default=None, metavar="SECONDS",
+        help="fire one cycle this often (wall clock); omit for "
+             "trigger-only operation",
+    )
+    register.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="simulated cycle period (default: trace cadence or 1800)",
+    )
+
+    for action, help_text in [
+        ("list", "list registered tenants"),
+        ("show", "one tenant's summary"),
+        ("cycles", "trigger optimization cycles"),
+        ("reports", "fetch cycle reports"),
+        ("plan", "fetch the latest migration plan"),
+        ("push", "push a collector traffic snapshot"),
+        ("schedule", "set or clear the cron cadence"),
+        ("health", "tenant health document"),
+        ("deregister", "remove a tenant"),
+    ]:
+        sub = actions.add_parser(action, help=help_text)
+        _add_client_opts(sub)
+        if action != "list":
+            sub.add_argument("name", help="tenant name")
+        if action == "cycles":
+            sub.add_argument("--cycles", type=int, default=1, metavar="N")
+            sub.add_argument(
+                "--no-wait", action="store_true",
+                help="return the job id immediately instead of blocking",
+            )
+        if action == "reports":
+            sub.add_argument("--since", type=int, default=0, metavar="K")
+        if action == "push":
+            sub.add_argument(
+                "edges", help="JSON file: list of [svc_a, svc_b, qps] triples"
+            )
+        if action == "schedule":
+            sub.add_argument(
+                "seconds", help='cadence in seconds, or "off" to clear'
+            )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -333,6 +453,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_inspect(subparsers)
     _add_cron(subparsers)
     _add_replay(subparsers)
+    _add_serve(subparsers)
+    _add_tenant(subparsers)
     return parser
 
 
@@ -750,6 +872,118 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    out = _make_output(args)
+    shutdown = GracefulShutdown()
+    with shutdown:
+        try:
+            service = api.start_service(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                checkpoint_root=args.checkpoint_root,
+                resume=not args.no_resume,
+                tick_seconds=args.tick_seconds,
+            )
+        except OSError as exc:
+            print(f"error: could not bind service: {exc}", file=sys.stderr)
+            return 1
+        out(f"service: {service.url} (workers={args.workers}"
+            + (f", checkpoint_root={args.checkpoint_root}"
+               if args.checkpoint_root else "")
+            + ")")
+        resumed = service.tenants()
+        if resumed:
+            out("resumed tenants: " + ", ".join(t.name for t in resumed))
+        try:
+            while not shutdown.requested:
+                time.sleep(0.2)
+        finally:
+            out("shutting down: draining tenant cycles, writing final "
+                "checkpoints")
+            service.stop()
+    if shutdown.requested:
+        shutdown.interrupted = True
+        out(f"interrupted by {shutdown.signal_name}; final checkpoints "
+            f"written" if args.checkpoint_root
+            else f"interrupted by {shutdown.signal_name}")
+        return EXIT_INTERRUPTED
+    return 0
+
+
+def _tenant_register_payload(args: argparse.Namespace) -> dict:
+    """Build the TenantSpec wire payload from ``rasa tenant register`` args."""
+    spec: dict = {
+        "name": args.name,
+        "time_limit": args.time_limit,
+        "sla_floor": args.sla_floor,
+        "seed": args.seed,
+        "traffic_jitter_sigma": args.jitter,
+        "schedule_seconds": args.schedule,
+        "interval_seconds": args.interval,
+    }
+    if args.event_trace:
+        trace = load_event_trace(args.trace)
+        spec["trace"] = {
+            "name": trace.name,
+            "seed": int(trace.seed),
+            "interval_seconds": float(trace.interval_seconds),
+            "description": trace.description,
+            "base": problem_to_dict(trace.base),
+            "events": [event.to_dict() for event in trace.events],
+        }
+    else:
+        spec["problem"] = problem_to_dict(load_trace(args.trace))
+    if args.fault_plan:
+        spec["faults"] = FaultPlan.load(args.fault_plan).to_dict()
+    return spec
+
+
+def cmd_tenant(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    action = args.tenant_action
+    try:
+        if action == "register":
+            try:
+                document = client.register_tenant(_tenant_register_payload(args))
+            except (OSError, ProblemValidationError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        elif action == "list":
+            document = client.list_tenants()
+        elif action == "show":
+            document = client.tenant(args.name)
+        elif action == "cycles":
+            document = client.trigger_cycles(
+                args.name, cycles=args.cycles, wait=not args.no_wait
+            )
+        elif action == "reports":
+            document = client.reports(args.name, since=args.since)
+        elif action == "plan":
+            document = client.plan(args.name)
+        elif action == "push":
+            with open(args.edges, encoding="utf-8") as handle:
+                edges = json.load(handle)
+            document = client.push_snapshot(args.name, edges)
+        elif action == "schedule":
+            seconds = (
+                None if args.seconds.lower() in ("off", "none", "null")
+                else float(args.seconds)
+            )
+            document = client.set_schedule(args.name, seconds)
+        elif action == "health":
+            document = client.health(args.name)
+        else:  # deregister
+            document = client.deregister_tenant(args.name)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "optimize": cmd_optimize,
@@ -757,6 +991,8 @@ COMMANDS = {
     "inspect": cmd_inspect,
     "cron": cmd_cron,
     "replay": cmd_replay,
+    "serve": cmd_serve,
+    "tenant": cmd_tenant,
 }
 
 

@@ -24,6 +24,9 @@ recorded on the :class:`CycleReport` and in spans/metrics.
 
 from __future__ import annotations
 
+import contextvars
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -40,15 +43,69 @@ from repro.faults import FaultInjector, attempt_with_retry
 from repro.migration.path import MigrationPathBuilder
 from repro.obs import get_logger, get_metrics, get_tracer, kv
 from repro.obs.server import TelemetryHub
+from repro.schemas import check_schema, tag_schema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.replay import EventStreamCursor
+    from repro.migration.plan import MigrationPlan
 
 #: The paper's churn gate: execute only on > 3 % gained-affinity improvement.
 IMPROVEMENT_GATE = 0.03
 
 #: Three days, in seconds — the unschedulable tag duration after a rollback.
 UNSCHEDULABLE_SECONDS = 3 * 24 * 3600.0
+
+
+# ----------------------------------------------------------------------
+# Deprecation shim for direct controller construction
+# ----------------------------------------------------------------------
+#: True while a supported entry point (the ``repro.api`` facade, the
+#: durability resume path, or the multi-tenant service) is constructing a
+#: controller — suppresses the direct-construction DeprecationWarning.
+_FACADE_CONSTRUCTION: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_facade_construction", default=False
+)
+
+#: Process-wide once-latch for the direct-construction warning.
+_DIRECT_CONSTRUCTION_WARNED = False
+
+
+@contextmanager
+def facade_construction():
+    """Mark controller construction as coming from a supported entry point.
+
+    The :mod:`repro.api` facade, :mod:`repro.durability` resume, and
+    :mod:`repro.service` tenants wrap their ``CronJobController(...)``
+    calls in this context, so only *direct* ad-hoc construction (the path
+    the service replaced) draws the :class:`DeprecationWarning`.
+    """
+    token = _FACADE_CONSTRUCTION.set(True)
+    try:
+        yield
+    finally:
+        _FACADE_CONSTRUCTION.reset(token)
+
+
+def _reset_direct_construction_warning() -> None:
+    """Re-arm the once-per-process warning (test hook)."""
+    global _DIRECT_CONSTRUCTION_WARNED
+    _DIRECT_CONSTRUCTION_WARNED = False
+
+
+def _warn_direct_construction() -> None:
+    global _DIRECT_CONSTRUCTION_WARNED
+    if _FACADE_CONSTRUCTION.get() or _DIRECT_CONSTRUCTION_WARNED:
+        return
+    _DIRECT_CONSTRUCTION_WARNED = True
+    warnings.warn(
+        "constructing CronJobController directly is deprecated for "
+        "application code: use repro.api.run_control_loop / "
+        "repro.api.replay_trace (or the multi-tenant service, "
+        "repro.api.start_service) so keyword-only entry points can keep "
+        "the constructor free to evolve",
+        DeprecationWarning,
+        stacklevel=4,
+    )
 
 
 @dataclass
@@ -108,8 +165,8 @@ class CycleReport:
     # Serialization (mirrors MigrationPlan.to_dict conventions)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Serialize to plain data (JSON-compatible)."""
-        return {
+        """Serialize to plain data (JSON-compatible, ``schema_version``-tagged)."""
+        return tag_schema({
             "cycle": self.cycle,
             "action": self.action,
             "gained_before": self.gained_before,
@@ -127,11 +184,12 @@ class CycleReport:
             "sla_ok": self.sla_ok,
             "events": list(self.events),
             "metrics": self.metrics,
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CycleReport":
         """Deserialize a report written by :meth:`to_dict`."""
+        check_schema(payload, "CycleReport")
         return cls(
             cycle=int(payload["cycle"]),
             action=str(payload["action"]),
@@ -204,6 +262,9 @@ class CronJobController:
             body against the churned world.  The cursor must wrap the same
             :class:`ClusterState` object as ``state``.
         history: Reports of every cycle run so far.
+        last_plan: The most recent migration plan a cycle built (dry-run
+            cycles leave it untouched; None before any cycle migrated) —
+            the payload behind the service's ``GET .../plan`` endpoint.
     """
 
     state: ClusterState
@@ -223,8 +284,10 @@ class CronJobController:
     telemetry: "TelemetryHub | None" = None
     stream: "EventStreamCursor | None" = None
     history: list[CycleReport] = field(default_factory=list)
+    last_plan: "MigrationPlan | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        _warn_direct_construction()
         if self.workers is not None:
             self.rasa.config.workers = self.workers
         if self.parallel is not None:
@@ -382,6 +445,7 @@ class CronJobController:
         plan = MigrationPathBuilder(sla_floor=self.sla_floor).build(
             problem, current, result.assignment
         )
+        self.last_plan = plan
         with tracer.span("cron.apply", steps=len(plan.steps)):
             outcome = self._apply(plan, cycle=cycle)
         if outcome.aborted:

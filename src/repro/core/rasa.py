@@ -92,6 +92,39 @@ class RASAResult:
     trajectory: list[tuple[float, float]] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
 
+    def summary_dict(self) -> dict:
+        """JSON-safe, ``schema_version``-tagged summary of the run.
+
+        The wire shape the multi-tenant service returns for an optimize
+        call: the headline quality/runtime numbers plus per-subproblem
+        algorithm choices — everything a remote client needs short of the
+        full placement matrix (fetch the migration plan for that).
+        """
+        from repro.schemas import tag_schema
+
+        return tag_schema({
+            "gained_affinity": float(self.gained_affinity),
+            "runtime_seconds": float(self.runtime_seconds),
+            "num_services": self.assignment.problem.num_services,
+            "num_machines": self.assignment.problem.num_machines,
+            "num_subproblems": len(self.reports),
+            "algorithms": sorted(
+                {report.selected_algorithm for report in self.reports}
+            ),
+            "subproblems": [
+                {
+                    "services": report.subproblem.num_services,
+                    "algorithm": report.selected_algorithm,
+                    "status": report.result.status,
+                    "objective": float(report.result.objective),
+                }
+                for report in self.reports
+            ],
+            "trajectory": [
+                [float(t), float(v)] for t, v in self.trajectory
+            ],
+        })
+
 
 def _append_point(
     trajectory: list[tuple[float, float]], elapsed: float, value: float

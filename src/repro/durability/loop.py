@@ -27,7 +27,12 @@ from dataclasses import asdict
 from typing import TYPE_CHECKING
 
 from repro.cluster.collector import DataCollector
-from repro.cluster.cronjob import IMPROVEMENT_GATE, CronJobController, CycleReport
+from repro.cluster.cronjob import (
+    IMPROVEMENT_GATE,
+    CronJobController,
+    CycleReport,
+    facade_construction,
+)
 from repro.cluster.state import ClusterState
 from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
 from repro.core.rasa import RASAScheduler
@@ -196,22 +201,25 @@ def _build_controller(
     telemetry: "TelemetryHub | None",
     history: list[CycleReport],
 ) -> CronJobController:
-    return CronJobController(
-        state=state,
-        collector=collector,
-        rasa=RASAScheduler(config=RASAConfig(**run["config"])),
-        interval_seconds=float(run["interval_seconds"]),
-        time_limit=run["time_limit"],
-        improvement_gate=float(run.get("improvement_gate", IMPROVEMENT_GATE)),
-        rollback_imbalance=run.get("rollback_imbalance"),
-        sla_floor=float(run["sla_floor"]),
-        faults=coerce_injector(run.get("fault_plan")),
-        degradation=DegradationPolicy(**run["degradation"]),
-        retry=RetryPolicy(**run["retry"]),
-        telemetry=telemetry,
-        stream=cursor,
-        history=history,
-    )
+    with facade_construction():
+        return CronJobController(
+            state=state,
+            collector=collector,
+            rasa=RASAScheduler(config=RASAConfig(**run["config"])),
+            interval_seconds=float(run["interval_seconds"]),
+            time_limit=run["time_limit"],
+            improvement_gate=float(
+                run.get("improvement_gate", IMPROVEMENT_GATE)
+            ),
+            rollback_imbalance=run.get("rollback_imbalance"),
+            sla_floor=float(run["sla_floor"]),
+            faults=coerce_injector(run.get("fault_plan")),
+            degradation=DegradationPolicy(**run["degradation"]),
+            retry=RetryPolicy(**run["retry"]),
+            telemetry=telemetry,
+            stream=cursor,
+            history=history,
+        )
 
 
 # ----------------------------------------------------------------------

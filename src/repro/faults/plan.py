@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, fields
 
 from repro.exceptions import ProblemValidationError
+from repro.schemas import check_schema, strip_schema, tag_schema
 
 _RATE_FIELDS = (
     "command_failure_rate",
@@ -96,8 +97,8 @@ class FaultPlan:
     # Serialization (plans are reproducible chaos-run artifacts)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Serialize to plain data (JSON-compatible)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Serialize to plain data (JSON-compatible, ``schema_version``-tagged)."""
+        return tag_schema({f.name: getattr(self, f.name) for f in fields(self)})
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultPlan":
@@ -106,6 +107,8 @@ class FaultPlan:
         Unknown keys raise so a typoed rate cannot silently disable a
         chaos experiment.
         """
+        check_schema(payload, "FaultPlan")
+        payload = strip_schema(payload)
         known = {f.name for f in fields(cls)}
         unknown = set(payload) - known
         if unknown:

@@ -36,6 +36,7 @@ from repro.exceptions import MigrationError
 from repro.faults import FaultInjector, attempt_with_retry
 from repro.migration.plan import CommandAction, MigrationPlan
 from repro.obs import get_logger, get_metrics, get_tracer, kv
+from repro.schemas import check_schema, tag_schema
 
 #: Structured execution outcomes.
 OUTCOME_COMPLETED = "completed"
@@ -79,8 +80,8 @@ class ExecutionTrace:
     # Serialization (mirrors MigrationPlan.to_dict conventions)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Serialize to plain data (JSON-compatible)."""
-        return {
+        """Serialize to plain data (JSON-compatible, ``schema_version``-tagged)."""
+        return tag_schema({
             "outcome": self.outcome,
             "min_alive_fraction": self.min_alive_fraction,
             "peak_overcommit": self.peak_overcommit,
@@ -90,7 +91,7 @@ class ExecutionTrace:
             "command_retries": self.command_retries,
             "retry_delay_seconds": self.retry_delay_seconds,
             "final_x": self.final.x.tolist(),
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: dict, problem: RASAProblem) -> "ExecutionTrace":
@@ -99,6 +100,7 @@ class ExecutionTrace:
         The problem is needed to re-wrap the final placement matrix as an
         :class:`~repro.core.solution.Assignment`.
         """
+        check_schema(payload, "ExecutionTrace")
         return cls(
             final=Assignment(
                 problem, np.asarray(payload["final_x"], dtype=np.int64)

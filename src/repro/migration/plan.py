@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.schemas import check_schema, tag_schema
+
 
 class CommandAction(str, Enum):
     """The two reallocation primitives."""
@@ -77,8 +79,8 @@ class MigrationPlan:
     # Serialization (plans are handed to external executors as data)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Serialize to plain data (JSON-compatible)."""
-        return {
+        """Serialize to plain data (JSON-compatible, ``schema_version``-tagged)."""
+        return tag_schema({
             "sla_floor": self.sla_floor,
             "moved_containers": self.moved_containers,
             "complete": self.complete,
@@ -90,11 +92,12 @@ class MigrationPlan:
                 ]
                 for step in self.steps
             ],
-        }
+        })
 
     @classmethod
     def from_dict(cls, payload: dict) -> "MigrationPlan":
         """Deserialize a plan written by :meth:`to_dict`."""
+        check_schema(payload, "MigrationPlan")
         plan = cls(
             sla_floor=float(payload.get("sla_floor", 0.75)),
             moved_containers=int(payload.get("moved_containers", 0)),

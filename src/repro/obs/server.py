@@ -121,34 +121,28 @@ class TelemetryHub:
         }
 
 
-class _TelemetryRequestHandler(BaseHTTPRequestHandler):
-    """Routes the four telemetry endpoints; everything else is 404."""
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared plumbing for the project's stdlib JSON-over-HTTP handlers.
+
+    Subclasses (the telemetry handler below, the multi-tenant service's
+    control-plane handler) implement ``do_GET``/``do_POST``/... in terms
+    of :meth:`respond_json` / :meth:`respond` and get consistent framing
+    (explicit Content-Length, HTTP/1.1) and access-log routing for free.
+    """
 
     # Served responses are tiny; keep connections simple.
     protocol_version = "HTTP/1.1"
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/metrics":
-            body = to_prometheus(server.registry_snapshot())
-            self._respond(200, PROMETHEUS_CONTENT_TYPE, body.encode("utf-8"))
-        elif path == "/healthz":
-            health = server.hub.health()
-            code = 503 if health["status"] == "sla_violated" else 200
-            self._respond_json(code, health)
-        elif path == "/cycles":
-            self._respond_json(200, server.hub.cycles())
-        elif path == "/trace":
-            self._respond_json(200, server.trace_document())
-        else:
-            self._respond_json(404, {"error": f"unknown path {path!r}"})
+    #: Logger the access log is routed through (subclasses override).
+    logger_name = "obs.server"
 
-    def _respond_json(self, code: int, payload: Any) -> None:
+    def respond_json(self, code: int, payload: Any) -> None:
+        """Send ``payload`` as a canonical (sorted-keys) JSON document."""
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._respond(code, "application/json; charset=utf-8", body)
+        self.respond(code, "application/json; charset=utf-8", body)
 
-    def _respond(self, code: int, content_type: str, body: bytes) -> None:
+    def respond(self, code: int, content_type: str, body: bytes) -> None:
+        """Send a fully framed response."""
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -156,9 +150,30 @@ class _TelemetryRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def log_message(self, format: str, *args: Any) -> None:
-        """Route access logs through ``repro.obs.server`` instead of stderr."""
-        get_logger("obs.server").debug("%s %s", self.address_string(),
-                                       format % args)
+        """Route access logs through the project logger instead of stderr."""
+        get_logger(self.logger_name).debug("%s %s", self.address_string(),
+                                           format % args)
+
+
+class _TelemetryRequestHandler(JsonRequestHandler):
+    """Routes the four telemetry endpoints; everything else is 404."""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        server: TelemetryServer = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = to_prometheus(server.registry_snapshot())
+            self.respond(200, PROMETHEUS_CONTENT_TYPE, body.encode("utf-8"))
+        elif path == "/healthz":
+            health = server.hub.health()
+            code = 503 if health["status"] == "sla_violated" else 200
+            self.respond_json(code, health)
+        elif path == "/cycles":
+            self.respond_json(200, server.hub.cycles())
+        elif path == "/trace":
+            self.respond_json(200, server.trace_document())
+        else:
+            self.respond_json(404, {"error": f"unknown path {path!r}"})
 
 
 class TelemetryServer:

@@ -1,0 +1,626 @@
+"""The multi-tenant optimizer service: a versioned REST control plane.
+
+One process hosts N named clusters as independent tenants.  The HTTP
+layer is the same stdlib :class:`~http.server.ThreadingHTTPServer`
+plumbing the telemetry server uses (no new dependencies); tenant work is
+executed on a :class:`~repro.service.pool.ControllerPool`, so handler
+threads stay cheap and one tenant's control loop never interleaves with
+itself.
+
+Surface (all request/response documents are ``schema_version``-tagged
+JSON, :mod:`repro.schemas`):
+
+====== ================================== ===================================
+Verb   Path                               Meaning
+====== ================================== ===================================
+GET    ``/v1/healthz``                    service health + tenant roll-up
+GET    ``/metrics``                       process metrics (Prometheus text)
+GET    ``/v1/tenants``                    list tenant summaries
+POST   ``/v1/tenants``                    register a tenant (TenantSpec)
+GET    ``/v1/tenants/<n>``                one tenant's summary
+DELETE ``/v1/tenants/<n>``                deregister (final checkpoint first)
+POST   ``/v1/tenants/<n>/cycles``         trigger cycles (``wait`` to block)
+GET    ``/v1/tenants/<n>/cycles``         cycle reports (``since=<k>``)
+GET    ``/v1/tenants/<n>/plan``           latest migration plan
+POST   ``/v1/tenants/<n>/snapshots``      push collector traffic edges
+POST   ``/v1/tenants/<n>/schedule``       set/clear the cron cadence
+GET    ``/v1/tenants/<n>/healthz``        tenant health (503 on SLA breach)
+GET    ``/v1/tenants/<n>/metrics``        tenant metrics (Prometheus text)
+GET    ``/v1/jobs/<id>``                  async trigger status
+====== ================================== ===================================
+
+Scheduling: a ticker thread fires one cycle per tenant every
+``schedule_seconds`` (wall clock).  A scheduled tick is skipped while the
+tenant's previous scheduled cycle is still queued or running — cron
+cycles never stack up behind a slow solve.
+
+Durability: with ``checkpoint_root`` set, each tenant journals under
+``<root>/<name>`` (PR 6's WAL + snapshots), the registered spec rides in
+the checkpoint, and service startup resurrects every tenant found on
+disk — schedules included.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+import threading
+import time
+from dataclasses import dataclass, replace
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.durability.checkpoint import SNAPSHOT_FILE, WAL_FILE
+from repro.exceptions import ProblemValidationError
+from repro.obs import get_logger, get_metrics, kv
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, to_prometheus
+from repro.obs.server import JsonRequestHandler
+from repro.schemas import check_schema, strip_schema, tag_schema
+from repro.service.pool import ControllerPool
+from repro.service.tenant import Tenant, TenantSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Future
+
+_TENANT_PATH = re.compile(r"^/v1/tenants/([A-Za-z0-9._-]+)(?:/([a-z]+))?$")
+_JOB_PATH = re.compile(r"^/v1/jobs/(job-\d+)$")
+
+#: Largest request body the control plane accepts (problems and traces
+#: are compact JSON; anything bigger is a client bug, not a workload).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`OptimizerService` process.
+
+    Attributes:
+        host: Bind address (loopback by default — the control plane is
+            plaintext and unauthenticated).
+        port: TCP port; 0 binds an ephemeral one.
+        workers: Worker threads in the tenant controller pool.
+        checkpoint_root: Directory tenants checkpoint under (one
+            subdirectory per tenant); None disables durability.
+        resume: Resurrect checkpointed tenants found under
+            ``checkpoint_root`` at startup.
+        tick_seconds: Cron-ticker cadence (how often due schedules are
+            checked, not how often cycles run).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 4
+    checkpoint_root: Path | None = None
+    resume: bool = True
+    tick_seconds: float = 0.5
+
+
+class _Job:
+    """Bookkeeping for one asynchronous cycle trigger."""
+
+    def __init__(self, job_id: str, tenant: str, cycles: int) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.cycles = cycles
+        self.future: "Future | None" = None
+        self.submitted_at = time.time()
+
+    def payload(self) -> dict:
+        future = self.future
+        if future is None or not future.done():
+            status, error, reports = "running", None, None
+        elif future.cancelled():
+            status, error, reports = "cancelled", None, None
+        elif future.exception() is not None:
+            status, error, reports = "failed", str(future.exception()), None
+        else:
+            status, error = "done", None
+            reports = [report.to_dict() for report in future.result()]
+        return tag_schema(
+            {
+                "id": self.id,
+                "tenant": self.tenant,
+                "cycles": self.cycles,
+                "status": status,
+                "error": error,
+                "reports": reports,
+            }
+        )
+
+
+class OptimizerService:
+    """The long-running multi-tenant control plane.
+
+    Use :func:`repro.api.start_service` (or ``rasa serve``) rather than
+    constructing this directly; both return the service started, and
+    ``stop()`` shuts it down with final per-tenant checkpoints.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.pool = ControllerPool(self.config.workers)
+        self._tenants: dict[str, Tenant] = {}
+        self._jobs: dict[str, _Job] = {}
+        self._job_ids = itertools.count(1)
+        self._scheduled: dict[str, "Future | None"] = {}
+        self._next_due: dict[str, float] = {}
+        self._lock = threading.RLock()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        self._ticker: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._logger = get_logger("service.app")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> int:
+        """Resume checkpointed tenants, bind, and serve; returns the port."""
+        if self._httpd is not None:
+            return self.port
+        self.pool.start()
+        if self.config.checkpoint_root is not None and self.config.resume:
+            self._resume_tenants(self.config.checkpoint_root)
+        httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _ServiceRequestHandler
+        )
+        httpd.daemon_threads = True
+        httpd.service = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._http_thread = threading.Thread(
+            target=httpd.serve_forever, name="rasa-service-http", daemon=True
+        )
+        self._http_thread.start()
+        self._ticker = threading.Thread(
+            target=self._tick_loop, name="rasa-service-ticker", daemon=True
+        )
+        self._ticker.start()
+        self._logger.info(
+            "service up %s",
+            kv(url=self.url, workers=self.config.workers,
+               tenants=len(self._tenants)),
+        )
+        return self.port
+
+    def stop(self, *, timeout: float | None = 30.0) -> None:
+        """Graceful shutdown: drain tenant work, write final checkpoints.
+
+        Order matters: the ticker stops first (no new scheduled cycles),
+        then the HTTP listener (no new triggers), then the pool drains
+        in-flight cycles, and only then does every durable tenant write
+        its final snapshot — so the checkpoints on disk describe a fully
+        quiesced service.
+        """
+        self._stop_event.set()
+        ticker, self._ticker = self._ticker, None
+        if ticker is not None:
+            ticker.join(timeout=5.0)
+        httpd, self._httpd = self._httpd, None
+        thread, self._http_thread = self._http_thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self.pool.stop(drain=True, timeout=timeout)
+        with self._lock:
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            try:
+                tenant.checkpoint()
+            except Exception as exc:  # noqa: BLE001 - best-effort shutdown
+                self._logger.warning(
+                    "final checkpoint failed %s",
+                    kv(tenant=tenant.name, error=str(exc)),
+                )
+        self._logger.info("service stopped %s", kv(tenants=len(tenants)))
+
+    def __enter__(self) -> "OptimizerService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self.config.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Tenant registry
+    # ------------------------------------------------------------------
+    def register(self, spec: TenantSpec) -> Tenant:
+        """Register a tenant from its spec (409 at the HTTP layer if taken)."""
+        checkpoint_dir = None
+        if self.config.checkpoint_root is not None:
+            checkpoint_dir = self.config.checkpoint_root / spec.name
+        with self._lock:
+            if spec.name in self._tenants:
+                raise KeyError(spec.name)
+        # World building happens outside the lock (it can be seconds for
+        # a big trace); the insert re-checks for a racing duplicate.
+        tenant = Tenant(spec, checkpoint_dir=checkpoint_dir)
+        with self._lock:
+            if spec.name in self._tenants:
+                raise KeyError(spec.name)
+            self._tenants[spec.name] = tenant
+            self._arm_schedule(tenant)
+        get_metrics().counter("service.tenants.registered").inc()
+        self._logger.info(
+            "tenant registered %s",
+            kv(tenant=spec.name, mode=spec.mode,
+               slot=self.pool.slot_for(spec.name),
+               durable=checkpoint_dir is not None),
+        )
+        return tenant
+
+    def deregister(self, name: str) -> Tenant:
+        """Remove a tenant (its checkpoint directory is left on disk)."""
+        with self._lock:
+            tenant = self._tenants.pop(name)
+            self._scheduled.pop(name, None)
+            self._next_due.pop(name, None)
+        tenant.checkpoint()
+        get_metrics().counter("service.tenants.deregistered").inc()
+        self._logger.info("tenant deregistered %s", kv(tenant=name))
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        with self._lock:
+            return self._tenants[name]
+
+    def tenants(self) -> list[Tenant]:
+        with self._lock:
+            return [
+                self._tenants[name] for name in sorted(self._tenants)
+            ]
+
+    def trigger(self, name: str, cycles: int) -> _Job:
+        """Queue ``cycles`` cycles for a tenant; returns the job record."""
+        tenant = self.tenant(name)
+        job = _Job(f"job-{next(self._job_ids)}", name, cycles)
+        with self._lock:
+            self._jobs[job.id] = job
+        job.future = self.pool.submit(name, lambda: tenant.run_cycles(cycles))
+        return job
+
+    def job(self, job_id: str) -> _Job:
+        with self._lock:
+            return self._jobs[job_id]
+
+    def set_schedule(self, name: str, schedule_seconds: float | None) -> Tenant:
+        """Set or clear a tenant's wall-clock cron cadence."""
+        tenant = self.tenant(name)
+        tenant.spec = replace(tenant.spec, schedule_seconds=schedule_seconds)
+        if tenant.durable is not None:
+            tenant.durable.run_payload["tenant_spec"] = tenant.spec.to_dict()
+        with self._lock:
+            self._arm_schedule(tenant)
+        return tenant
+
+    def health(self) -> dict:
+        """The service-level ``/v1/healthz`` document."""
+        with self._lock:
+            tenants = dict(self._tenants)
+        statuses = {
+            name: tenant.hub.health()["status"]
+            for name, tenant in sorted(tenants.items())
+        }
+        return tag_schema(
+            {
+                "status": "ok",
+                "tenants": len(tenants),
+                "workers": self.config.workers,
+                "tenant_status": statuses,
+                "checkpoint_root": (
+                    None
+                    if self.config.checkpoint_root is None
+                    else str(self.config.checkpoint_root)
+                ),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Cron ticker
+    # ------------------------------------------------------------------
+    def _arm_schedule(self, tenant: Tenant) -> None:
+        """(Re)arm the ticker for a tenant; caller holds the lock."""
+        every = tenant.spec.schedule_seconds
+        if every is None:
+            self._next_due.pop(tenant.name, None)
+            self._scheduled.pop(tenant.name, None)
+        else:
+            self._next_due[tenant.name] = time.monotonic() + float(every)
+
+    def _tick_loop(self) -> None:
+        while not self._stop_event.wait(self.config.tick_seconds):
+            now = time.monotonic()
+            with self._lock:
+                due = [
+                    name
+                    for name, at in self._next_due.items()
+                    if now >= at and name in self._tenants
+                ]
+            for name in due:
+                self._fire_scheduled(name, now)
+
+    def _fire_scheduled(self, name: str, now: float) -> None:
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None or tenant.spec.schedule_seconds is None:
+                return
+            previous = self._scheduled.get(name)
+            if previous is not None and not previous.done():
+                # The previous scheduled cycle is still queued or running:
+                # skip this tick rather than stacking cycles behind it.
+                self._next_due[name] = now + float(tenant.spec.schedule_seconds)
+                get_metrics().counter("service.schedule.skipped").inc()
+                return
+            self._next_due[name] = now + float(tenant.spec.schedule_seconds)
+        try:
+            future = self.pool.submit(name, lambda: tenant.run_cycles(1))
+        except RuntimeError:
+            return  # pool already stopped; shutdown is racing the ticker
+        with self._lock:
+            self._scheduled[name] = future
+        get_metrics().counter("service.schedule.fired").inc()
+
+    # ------------------------------------------------------------------
+    # Startup resume
+    # ------------------------------------------------------------------
+    def _resume_tenants(self, root: Path) -> None:
+        if not root.is_dir():
+            return
+        for child in sorted(root.iterdir()):
+            if not child.is_dir():
+                continue
+            if not (
+                (child / SNAPSHOT_FILE).exists() or (child / WAL_FILE).exists()
+            ):
+                continue
+            try:
+                tenant = Tenant.resume(child)
+            except Exception as exc:  # noqa: BLE001 - keep serving the rest
+                self._logger.warning(
+                    "tenant resume failed %s",
+                    kv(dir=str(child), error=str(exc)),
+                )
+                get_metrics().counter("service.tenants.resume_failed").inc()
+                continue
+            with self._lock:
+                self._tenants[tenant.name] = tenant
+                self._arm_schedule(tenant)
+            get_metrics().counter("service.tenants.resumed").inc()
+            self._logger.info(
+                "tenant resumed %s",
+                kv(tenant=tenant.name, cycles=tenant.cycles_completed),
+            )
+
+
+class _ServiceRequestHandler(JsonRequestHandler):
+    """Routes the control-plane REST surface onto :class:`OptimizerService`."""
+
+    logger_name = "service.app"
+
+    @property
+    def svc(self) -> OptimizerService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ProblemValidationError(
+                f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProblemValidationError(
+                f"request body is not valid JSON: {exc}"
+            ) from exc
+
+    def _query(self) -> dict[str, str]:
+        if "?" not in self.path:
+            return {}
+        out: dict[str, str] = {}
+        for pair in self.path.split("?", 1)[1].split("&"):
+            if not pair:
+                continue
+            key, _, value = pair.partition("=")
+            out[key] = value
+        return out
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            self._route(method)
+        except KeyError as exc:
+            self.respond_json(404, tag_schema({"error": f"not found: {exc}"}))
+        except ProblemValidationError as exc:
+            self.respond_json(400, tag_schema({"error": str(exc)}))
+        except Exception as exc:  # noqa: BLE001 - surface, don't kill thread
+            get_logger(self.logger_name).warning(
+                "request failed %s", kv(path=self.path, error=str(exc))
+            )
+            self.respond_json(500, tag_schema({"error": str(exc)}))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("DELETE")
+
+    # ------------------------------------------------------------------
+    def _route(self, method: str) -> None:
+        svc = self.svc
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+
+        if method == "GET" and path == "/v1/healthz":
+            self.respond_json(200, svc.health())
+            return
+        if method == "GET" and path == "/metrics":
+            body = to_prometheus(get_metrics().snapshot())
+            self.respond(200, PROMETHEUS_CONTENT_TYPE, body.encode("utf-8"))
+            return
+        if path == "/v1/tenants":
+            if method == "GET":
+                self.respond_json(
+                    200,
+                    tag_schema(
+                        {"tenants": [t.summary() for t in svc.tenants()]}
+                    ),
+                )
+                return
+            if method == "POST":
+                payload = self._read_body()
+                if not isinstance(payload, dict):
+                    raise ProblemValidationError(
+                        "tenant registration body must be a JSON object"
+                    )
+                spec = TenantSpec.from_dict(payload)
+                try:
+                    tenant = svc.register(spec)
+                except KeyError:
+                    self.respond_json(
+                        409,
+                        tag_schema(
+                            {"error": f"tenant {spec.name!r} already exists"}
+                        ),
+                    )
+                    return
+                self.respond_json(201, tenant.summary())
+                return
+        job_match = _JOB_PATH.match(path)
+        if job_match and method == "GET":
+            self.respond_json(200, svc.job(job_match.group(1)).payload())
+            return
+        tenant_match = _TENANT_PATH.match(path)
+        if tenant_match:
+            self._route_tenant(
+                method, tenant_match.group(1), tenant_match.group(2)
+            )
+            return
+        self.respond_json(404, tag_schema({"error": f"unknown path {path!r}"}))
+
+    def _route_tenant(
+        self, method: str, name: str, leaf: str | None
+    ) -> None:
+        svc = self.svc
+        if leaf is None:
+            if method == "GET":
+                self.respond_json(200, svc.tenant(name).summary())
+                return
+            if method == "DELETE":
+                tenant = svc.deregister(name)
+                self.respond_json(
+                    200,
+                    tag_schema(
+                        {
+                            "deregistered": name,
+                            "cycles_completed": tenant.cycles_completed,
+                        }
+                    ),
+                )
+                return
+        elif leaf == "cycles":
+            if method == "POST":
+                body = self._read_body()
+                body = strip_schema(body) if isinstance(body, dict) else {}
+                check_schema(body, "trigger")
+                cycles = int(body.get("cycles", 1))
+                job = svc.trigger(name, cycles)
+                if body.get("wait") or self._query().get("wait"):
+                    job.future.result()
+                    self.respond_json(200, job.payload())
+                else:
+                    self.respond_json(202, job.payload())
+                return
+            if method == "GET":
+                since = int(self._query().get("since", 0))
+                history = svc.tenant(name).controller.history
+                self.respond_json(
+                    200,
+                    tag_schema(
+                        {
+                            "tenant": name,
+                            "since": since,
+                            "reports": [
+                                report.to_dict() for report in history[since:]
+                            ],
+                        }
+                    ),
+                )
+                return
+        elif leaf == "plan" and method == "GET":
+            plan = svc.tenant(name).last_plan
+            if plan is None:
+                self.respond_json(
+                    404,
+                    tag_schema(
+                        {"error": f"tenant {name!r} has not built a plan yet"}
+                    ),
+                )
+                return
+            self.respond_json(200, plan.to_dict())
+            return
+        elif leaf == "healthz" and method == "GET":
+            health = svc.tenant(name).hub.health()
+            code = 503 if health["status"] == "sla_violated" else 200
+            self.respond_json(code, tag_schema(health))
+            return
+        elif leaf == "metrics" and method == "GET":
+            body = to_prometheus(svc.tenant(name).registry.snapshot())
+            self.respond(200, PROMETHEUS_CONTENT_TYPE, body.encode("utf-8"))
+            return
+        elif leaf == "snapshots" and method == "POST":
+            body = self._read_body()
+            if not isinstance(body, dict):
+                raise ProblemValidationError(
+                    "snapshot body must be a JSON object with 'edges'"
+                )
+            check_schema(body, "snapshot")
+            edges = strip_schema(body).get("edges")
+            if not isinstance(edges, list):
+                raise ProblemValidationError(
+                    "snapshot body needs an 'edges' list of "
+                    "[service_a, service_b, qps] triples"
+                )
+            count = svc.tenant(name).push_snapshot(edges)
+            self.respond_json(200, tag_schema({"tenant": name, "edges": count}))
+            return
+        elif leaf == "schedule" and method == "POST":
+            body = self._read_body()
+            if not isinstance(body, dict) or "schedule_seconds" not in strip_schema(body):
+                raise ProblemValidationError(
+                    "schedule body needs 'schedule_seconds' (number or null)"
+                )
+            check_schema(body, "schedule")
+            value = strip_schema(body)["schedule_seconds"]
+            seconds = None if value is None else float(value)
+            tenant = svc.set_schedule(name, seconds)
+            self.respond_json(
+                200,
+                tag_schema(
+                    {"tenant": name, "schedule_seconds": tenant.spec.schedule_seconds}
+                ),
+            )
+            return
+        self.respond_json(
+            404,
+            tag_schema({"error": f"unknown tenant path {self.path!r}"}),
+        )

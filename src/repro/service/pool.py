@@ -1,0 +1,191 @@
+"""Bounded worker pool sharding tenants onto slots by consistent hashing.
+
+The service may host far more tenants than it can run threads, so tenant
+work is sharded onto a fixed worker set.  Two disciplines matter:
+
+* **per-tenant serialization** — all jobs for one tenant run on one slot,
+  FIFO, so a tenant's control loop never interleaves with itself (cycle
+  N+1 starts only after cycle N committed — the same discipline the
+  parallel subproblem engine uses for its deterministic merge: concurrency
+  between independent units, strict order within one).
+* **tenant → slot stability** — the mapping is a consistent-hash ring
+  (SHA-1, virtual nodes), so growing the worker set remaps only ~1/slots
+  of the tenants instead of reshuffling everybody — the property that lets
+  a horizontally sharded deployment add capacity without stampeding every
+  tenant's checkpoint directory to a new owner.
+
+Jobs are plain callables; results travel through
+:class:`concurrent.futures.Future`, so callers can fire-and-forget
+(trigger endpoints return 202) or block (``?wait=1``, the CLI).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from repro.obs import get_logger, get_metrics, kv
+
+#: Virtual nodes per slot on the hash ring — enough for an even spread at
+#: small slot counts without making ring construction noticeable.
+VNODES_PER_SLOT = 64
+
+#: Sentinel telling a worker thread to drain out.
+_STOP = object()
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 64-bit position on the ring (SHA-1 prefix, platform-free)."""
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent tenant → slot mapping with virtual nodes.
+
+    Args:
+        slots: Number of physical slots (worker threads).
+        vnodes: Virtual nodes per slot; more vnodes → smoother spread.
+    """
+
+    def __init__(self, slots: int, vnodes: int = VNODES_PER_SLOT) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = int(slots)
+        points: list[tuple[int, int]] = []
+        for slot in range(self.slots):
+            for replica in range(vnodes):
+                points.append((_ring_hash(f"slot-{slot}#{replica}"), slot))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [slot for _, slot in points]
+
+    def slot_for(self, key: str) -> int:
+        """The slot owning ``key`` (first ring point clockwise of its hash)."""
+        position = _ring_hash(key)
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+
+class ControllerPool:
+    """Fixed set of worker threads, one FIFO queue per slot.
+
+    Args:
+        workers: Worker-thread count (the concurrency ceiling for tenant
+            control loops).
+        name: Thread-name prefix (shows up in stack dumps and profilers).
+    """
+
+    def __init__(self, workers: int = 4, *, name: str = "rasa-pool") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._ring = HashRing(self.workers)
+        self._queues: list[queue.Queue] = [queue.Queue() for _ in range(self.workers)]
+        self._threads = [
+            threading.Thread(
+                target=self._worker, args=(slot,),
+                name=f"{name}-{slot}", daemon=True,
+            )
+            for slot in range(self.workers)
+        ]
+        self._started = False
+        self._stopped = False
+        self._lock = threading.Lock()
+        self._logger = get_logger("service.pool")
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spin the worker threads up (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        for thread in self._threads:
+            thread.start()
+
+    def slot_for(self, tenant: str) -> int:
+        """The worker slot a tenant's jobs are pinned to."""
+        return self._ring.slot_for(tenant)
+
+    def submit(self, tenant: str, fn: Callable[[], Any]) -> "Future[Any]":
+        """Enqueue ``fn`` on the tenant's slot; returns its future.
+
+        Jobs for one tenant run in submission order on one thread; jobs
+        for tenants on different slots run concurrently.
+        """
+        if not self._started or self._stopped:
+            raise RuntimeError("ControllerPool is not running")
+        future: Future = Future()
+        self._queues[self.slot_for(tenant)].put((tenant, fn, future))
+        get_metrics().counter("service.pool.submitted").inc()
+        return future
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every queued job has finished.
+
+        Returns False when ``timeout`` elapsed first.  New submissions
+        racing a drain are allowed (the drain just waits longer).
+        """
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for q in self._queues:
+            while q.unfinished_tasks:
+                if deadline is not None and time.monotonic() >= deadline:
+                    return False
+                time.sleep(0.01)
+        return True
+
+    def stop(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the workers (optionally after draining queued jobs)."""
+        with self._lock:
+            if not self._started or self._stopped:
+                self._stopped = True
+                return
+            self._stopped = True
+        if drain:
+            self.drain(timeout=timeout)
+        for q in self._queues:
+            q.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def _worker(self, slot: int) -> None:
+        q = self._queues[slot]
+        while True:
+            item = q.get()
+            try:
+                if item is _STOP:
+                    return
+                tenant, fn, future = item
+                if not future.set_running_or_notify_cancel():
+                    continue
+                try:
+                    future.set_result(fn())
+                    get_metrics().counter("service.pool.completed").inc()
+                except BaseException as exc:  # noqa: BLE001 - future carries it
+                    get_metrics().counter("service.pool.failed").inc()
+                    self._logger.warning(
+                        "tenant job failed %s",
+                        kv(tenant=tenant, slot=slot, error=str(exc)),
+                    )
+                    future.set_exception(exc)
+            finally:
+                q.task_done()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ControllerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

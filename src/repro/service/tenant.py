@@ -1,0 +1,410 @@
+"""One tenant = one cluster's control loop, isolated from its neighbors.
+
+A :class:`TenantSpec` is the versioned wire payload a client registers
+(``POST /v1/tenants``): the cluster source (a problem snapshot or a v2
+event trace), the scheduler/chaos/degradation configuration, and an
+optional wall-clock cron cadence.  A :class:`Tenant` is that spec made
+live — a :class:`~repro.cluster.cronjob.CronJobController` built through
+:func:`repro.api._build_loop_controller`, i.e. **exactly** the wiring
+:func:`repro.api.run_control_loop` uses, so a tenant's cycle reports are
+bit-identical (modulo the process-local ``metrics`` field) to the
+equivalent single-tenant run.
+
+Isolation is structural, not policed:
+
+* each tenant owns its collector, fault injector, degradation ladder,
+  telemetry hub, and metrics registry — the only shared mutable state is
+  the process metrics registry, which is advisory;
+* each tenant's randomness comes from its own seeded generators (the
+  collector's jitter stream and the injector's per-cycle
+  ``SeedSequence``), so one tenant's chaos plan can never perturb
+  another's report sequence;
+* each tenant checkpoints under its own directory, so PR 6's durability
+  (WAL + snapshots + resume) applies per tenant.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.cluster.collector import DataCollector
+from repro.cluster.cronjob import CycleReport
+from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
+from repro.exceptions import ProblemValidationError
+from repro.obs import TelemetryHub
+from repro.obs.metrics import MetricsRegistry
+from repro.schemas import check_schema, strip_schema, tag_schema
+from repro.workloads.trace_io import problem_from_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cronjob import CronJobController
+    from repro.durability.loop import DurableControlLoop
+    from repro.migration.plan import MigrationPlan
+
+#: Tenant names appear in URLs and checkpoint paths, so keep them tame.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Versioned registration payload for one tenant.
+
+    Exactly one of ``problem`` / ``trace`` must be set:
+
+    * ``problem`` — a format-v1 problem snapshot
+      (:func:`repro.workloads.trace_io.problem_to_dict`); the tenant runs
+      CronJob cycles against a static world.
+    * ``trace`` — a v2 event-trace payload (``base`` problem plus
+      ``events``, as in trace files and checkpoint source payloads); the
+      tenant replays the stream, applying due events before each cycle.
+
+    Attributes:
+        name: URL-safe tenant name (also the checkpoint subdirectory).
+        problem: Problem snapshot payload, or None.
+        trace: Event-trace payload, or None.
+        config: :class:`~repro.core.config.RASAConfig` field overrides.
+        faults: :class:`~repro.faults.FaultPlan` payload; None runs the
+            exact fault-free path.
+        degradation: :class:`DegradationPolicy` field overrides.
+        retry: :class:`RetryPolicy` field overrides.
+        time_limit: Per-cycle solver budget (seconds).  The service
+            default is None — unlimited — because that is what keeps
+            report sequences machine-independent; set a finite budget
+            explicitly when pacing matters more than reproducibility.
+        interval_seconds: Simulated cycle period; None uses the trace's
+            recorded cadence (replay) or the half-hourly default (cron).
+        sla_floor: Alive-fraction floor enforced during migrations.
+        rollback_imbalance: Utilization-skew rollback threshold.
+        traffic_jitter_sigma: Collector measurement drift.
+        seed: Seed of the tenant's collector jitter stream.
+        schedule_seconds: Wall-clock cron cadence; when set, the service
+            ticker triggers one cycle this often.  None means cycles run
+            only when triggered explicitly.
+        checkpoint_every: Cycles between WAL compactions (durable
+            tenants only).
+    """
+
+    name: str
+    problem: dict | None = None
+    trace: dict | None = None
+    config: dict | None = None
+    faults: dict | None = None
+    degradation: dict | None = None
+    retry: dict | None = None
+    time_limit: float | None = None
+    interval_seconds: float | None = None
+    sla_floor: float = 0.75
+    rollback_imbalance: float | None = None
+    traffic_jitter_sigma: float = 0.0
+    seed: int = 0
+    schedule_seconds: float | None = None
+    checkpoint_every: int = 16
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ProblemValidationError(
+                "tenant name must match [A-Za-z0-9][A-Za-z0-9._-]{0,63}, "
+                f"got {self.name!r}"
+            )
+        if (self.problem is None) == (self.trace is None):
+            raise ProblemValidationError(
+                "a TenantSpec needs exactly one of 'problem' or 'trace'"
+            )
+        if self.schedule_seconds is not None and self.schedule_seconds <= 0:
+            raise ProblemValidationError(
+                f"schedule_seconds must be positive, got {self.schedule_seconds}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """``"replay"`` for trace tenants, ``"cron"`` for problem tenants."""
+        return "replay" if self.trace is not None else "cron"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to plain data (JSON-compatible, ``schema_version``-tagged)."""
+        return tag_schema({f.name: getattr(self, f.name) for f in fields(self)})
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TenantSpec":
+        """Deserialize a spec written by :meth:`to_dict` (or a client).
+
+        Unknown keys raise so a typoed tunable cannot silently fall back
+        to a default.
+        """
+        check_schema(payload, "TenantSpec")
+        payload = strip_schema(payload)
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ProblemValidationError(
+                f"unknown TenantSpec fields: {sorted(unknown)}"
+            )
+        if "name" not in payload:
+            raise ProblemValidationError("TenantSpec payload needs a 'name'")
+        return cls(**payload)
+
+
+class Tenant:
+    """A registered tenant's live control loop and its local observability.
+
+    Build fresh from a spec (optionally with a checkpoint directory for
+    durability), or rebuild from a checkpoint directory with
+    :meth:`resume`.  Cycle execution (:meth:`run_cycles`) is serialized
+    by the pool (all of one tenant's jobs land on one worker slot), so
+    the class only locks its cheap bookkeeping.
+    """
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        *,
+        checkpoint_dir: "str | Path | None" = None,
+    ) -> None:
+        from repro.api import _build_loop_controller
+
+        self.spec = spec
+        self.hub = TelemetryHub()
+        self.registry = MetricsRegistry()
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        self._lock = threading.Lock()
+        self._folded = 0
+
+        if spec.trace is not None:
+            from repro.cluster.replay import EventTrace, event_from_dict
+
+            payload = spec.trace
+            trace = EventTrace(
+                base=problem_from_dict(payload["base"]),
+                events=[event_from_dict(e) for e in payload.get("events", [])],
+                name=str(payload.get("name", spec.name)),
+                seed=int(payload.get("seed", 0)),
+                interval_seconds=float(payload.get("interval_seconds", 1800.0)),
+                description=str(payload.get("description", "")),
+            )
+            stream = trace.cursor()
+            state = stream.state
+            interval = (
+                spec.interval_seconds
+                if spec.interval_seconds is not None
+                else trace.interval_seconds
+            )
+        else:
+            stream = None
+            state = problem_from_dict(spec.problem)
+            interval = (
+                spec.interval_seconds
+                if spec.interval_seconds is not None
+                else 1800.0
+            )
+
+        self.controller: "CronJobController" = _build_loop_controller(
+            state,
+            stream=stream,
+            config=RASAConfig(**spec.config) if spec.config else None,
+            faults=spec.faults,
+            time_limit=spec.time_limit,
+            interval_seconds=float(interval),
+            sla_floor=spec.sla_floor,
+            rollback_imbalance=spec.rollback_imbalance,
+            degradation=(
+                DegradationPolicy(**spec.degradation) if spec.degradation else None
+            ),
+            retry=RetryPolicy(**spec.retry) if spec.retry else None,
+            traffic_jitter_sigma=spec.traffic_jitter_sigma,
+            seed=spec.seed,
+            telemetry=self.hub,
+        )
+
+        self.durable: "DurableControlLoop | None" = None
+        if self.checkpoint_dir is not None:
+            from repro.durability.loop import build_durable_loop
+
+            self.durable = build_durable_loop(
+                self.controller,
+                checkpoint_dir=self.checkpoint_dir,
+                total_cycles=len(self.controller.history),
+                mode=spec.mode,
+                seed=spec.seed,
+                traffic_jitter_sigma=spec.traffic_jitter_sigma,
+                checkpoint_every=spec.checkpoint_every,
+            )
+            # Stash the spec inside the run payload so a service restart
+            # can resurrect the tenant (schedule included) from disk alone.
+            self.durable.run_payload["tenant_spec"] = spec.to_dict()
+            self.durable.checkpoint()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(cls, checkpoint_dir: "str | Path") -> "Tenant":
+        """Rebuild a tenant from the checkpoint a previous run left behind.
+
+        The restored history is republished to the tenant's telemetry hub
+        and folded into its metrics registry, so ``/healthz`` and
+        ``/metrics`` pick up where the previous process stopped.
+        """
+        from repro.durability.loop import prepare_resume
+
+        tenant = cls.__new__(cls)
+        tenant.hub = TelemetryHub()
+        tenant.registry = MetricsRegistry()
+        tenant.checkpoint_dir = Path(checkpoint_dir)
+        tenant._lock = threading.Lock()
+        tenant._folded = 0
+        durable = prepare_resume(checkpoint_dir, telemetry=tenant.hub)
+        spec_payload = durable.run_payload.get("tenant_spec")
+        if spec_payload is None:
+            raise ProblemValidationError(
+                f"checkpoint at {checkpoint_dir} was not written by the "
+                "multi-tenant service (no tenant_spec in its run payload)"
+            )
+        tenant.spec = TenantSpec.from_dict(spec_payload)
+        tenant.controller = durable.controller
+        tenant.durable = durable
+        tenant._fold_new_reports()
+        return tenant
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def cycles_completed(self) -> int:
+        return len(self.controller.history)
+
+    @property
+    def last_report(self) -> "CycleReport | None":
+        history = self.controller.history
+        return history[-1] if history else None
+
+    @property
+    def last_plan(self) -> "MigrationPlan | None":
+        return self.controller.last_plan
+
+    # ------------------------------------------------------------------
+    def run_cycles(self, cycles: int) -> list[CycleReport]:
+        """Run ``cycles`` more cycles on the calling (pool worker) thread.
+
+        Durable tenants run through their
+        :class:`~repro.durability.loop.DurableControlLoop` so every
+        committed cycle is journaled; the loop's target is bumped by
+        ``cycles`` each trigger, which is what makes three one-cycle
+        triggers produce the same checkpoint state as one three-cycle
+        run.
+        """
+        if cycles < 1:
+            raise ProblemValidationError(f"cycles must be >= 1, got {cycles}")
+        if self.durable is not None:
+            target = len(self.controller.history) + cycles
+            self.durable.total_cycles = target
+            self.durable.run_payload["cycles"] = target
+            history = self.durable.run()
+            new = history[-cycles:]
+        else:
+            new = self.controller.run(cycles)
+        self._fold_new_reports()
+        return new
+
+    def push_snapshot(self, edges: list) -> int:
+        """Replace the collector's ground-truth traffic measurements.
+
+        ``edges`` is a list of ``[service_a, service_b, qps]`` triples
+        (tuple keys do not survive JSON, so the wire format is triples);
+        the next cycle optimizes against the pushed traffic.  Replay
+        tenants reject pushes — their traffic comes from the recorded
+        stream.
+        """
+        collector: DataCollector = self.controller.collector
+        if collector.stream is not None:
+            raise ProblemValidationError(
+                f"tenant {self.name!r} replays a recorded trace; its "
+                "traffic cannot be overridden by snapshot pushes"
+            )
+        services = set(self.controller.state.problem.service_names())
+        parsed: dict[tuple[str, str], float] = {}
+        for entry in edges:
+            try:
+                a, b, qps = entry
+                parsed[(str(a), str(b))] = float(qps)
+            except (TypeError, ValueError) as exc:
+                raise ProblemValidationError(
+                    "snapshot entries must be [service_a, service_b, qps] "
+                    f"triples, got {entry!r}"
+                ) from exc
+            for name in (str(a), str(b)):
+                if name not in services:
+                    raise ProblemValidationError(
+                        f"snapshot references unknown service {name!r}"
+                    )
+        with self._lock:
+            collector.qps = parsed
+        return len(parsed)
+
+    def checkpoint(self) -> None:
+        """Write a final snapshot now (no-op for non-durable tenants)."""
+        if self.durable is not None:
+            self.durable.checkpoint()
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """The tenant's status document (``GET /v1/tenants/<name>``)."""
+        problem = self.controller.state.problem
+        last = self.last_report
+        return tag_schema(
+            {
+                "name": self.name,
+                "mode": self.spec.mode,
+                "cycles_completed": self.cycles_completed,
+                "num_services": problem.num_services,
+                "num_machines": problem.num_machines,
+                "schedule_seconds": self.spec.schedule_seconds,
+                "durable": self.durable is not None,
+                "checkpoint_dir": (
+                    None if self.checkpoint_dir is None else str(self.checkpoint_dir)
+                ),
+                "faulted": self.spec.faults is not None,
+                "gained_affinity": (
+                    None if last is None else float(last.gained_after)
+                ),
+                "last_action": None if last is None else last.action,
+                "health": self.hub.health(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _fold_new_reports(self) -> None:
+        """Fold not-yet-counted reports into the tenant metrics registry.
+
+        Per-tenant metrics are derived from the tenant's own report
+        history rather than by swapping the process-global registry —
+        the global registry is a process-wide singleton and cannot be
+        re-pointed per worker thread without cross-tenant bleed.
+        """
+        with self._lock:
+            history = self.controller.history
+            fresh = history[self._folded:]
+            self._folded = len(history)
+        reg = self.registry
+        for report in fresh:
+            reg.counter("tenant.cycles.total").inc()
+            reg.counter(f"tenant.cycles.{report.action}").inc()
+            reg.counter("tenant.moved_containers").inc(report.moved_containers)
+            reg.counter("tenant.failed_commands").inc(report.failed_commands)
+            reg.counter("tenant.skipped_commands").inc(report.skipped_commands)
+            reg.counter("tenant.command_retries").inc(report.command_retries)
+            reg.counter("tenant.machine_failures").inc(
+                len(report.machine_failures)
+            )
+            if not report.sla_ok:
+                reg.counter("tenant.sla_violations").inc()
+            reg.gauge("tenant.gained_affinity").set(report.gained_after)
+            reg.gauge("tenant.imbalance").set(report.imbalance_after)
+            reg.gauge("tenant.min_alive_fraction").set(report.min_alive_fraction)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 import repro
 from repro import api
@@ -136,3 +137,110 @@ def test_run_control_loop_with_faults_matches_controller(small_cluster):
     assert [_strip_metrics(r) for r in via_facade] == [
         _strip_metrics(r) for r in via_class
     ]
+
+
+# ----------------------------------------------------------------------
+# Facade hygiene: the supported surface is exactly what is documented,
+# every tunable is keyword-only, and the class layer warns when used
+# where the facade should be.
+# ----------------------------------------------------------------------
+
+#: The documented public surface of ``import repro`` — update this list
+#: and the module docstrings together, deliberately.
+DOCUMENTED_SURFACE = {
+    # facade
+    "api", "optimize", "plan_migration", "execute_plan", "run_control_loop",
+    "replay_trace", "resume_control_loop", "start_service", "ServiceClient",
+    # modeling
+    "AffinityGraph", "AntiAffinityRule", "Assignment", "FeasibilityReport",
+    "Machine", "RASAProblem", "Service",
+    # configuration + results
+    "DegradationPolicy", "RASAConfig", "RASAResult", "RASAScheduler",
+    "RetryPolicy", "SubproblemReport",
+    # migration + faults
+    "ExecutionTrace", "FaultInjector", "FaultPlan", "MigrationExecutor",
+    "MigrationPathBuilder", "MigrationPlan",
+    # exceptions
+    "CheckpointDivergenceError", "ClusterStateError", "DurabilityError",
+    "InfeasibleProblemError", "MigrationError", "ProblemValidationError",
+    "ReproError", "SolverError", "SolverTimeoutError", "TrainingError",
+    "WALCorruptionError",
+    "__version__",
+}
+
+
+def test_top_level_all_matches_documented_surface():
+    assert set(repro.__all__) == DOCUMENTED_SURFACE
+    assert repro.__all__ == sorted(repro.__all__)
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_service_surface_is_reexported():
+    from repro.service.client import ServiceClient
+
+    assert repro.start_service is api.start_service
+    assert repro.ServiceClient is ServiceClient
+    assert api.ServiceClient is ServiceClient
+
+
+def test_facade_functions_take_tunables_keyword_only():
+    """Uniform calling convention: data subjects positional and required,
+    every tunable keyword-only — enforced over the whole facade."""
+    import inspect
+
+    for name in api.__all__:
+        entry = getattr(api, name)
+        if not inspect.isfunction(entry):
+            continue  # re-exported classes (ServiceClient)
+        for parameter in inspect.signature(entry).parameters.values():
+            assert parameter.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            ), f"{name}({parameter.name}) must not be positional-only/varargs"
+            if parameter.kind is inspect.Parameter.POSITIONAL_OR_KEYWORD:
+                assert parameter.default is inspect.Parameter.empty, (
+                    f"{name}({parameter.name}): tunables with defaults must "
+                    f"be keyword-only"
+                )
+
+
+def test_direct_controller_construction_warns_once(small_cluster):
+    import warnings
+
+    from repro.cluster.cronjob import _reset_direct_construction_warning
+
+    problem = small_cluster.problem
+    _reset_direct_construction_warning()
+    try:
+        with pytest.warns(DeprecationWarning, match="run_control_loop"):
+            CronJobController(
+                state=ClusterState(problem),
+                collector=DataCollector(small_cluster.qps),
+            )
+        # The warning is a once-per-process nudge, not a nag: a second
+        # direct construction stays silent even under -W error.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            CronJobController(
+                state=ClusterState(problem),
+                collector=DataCollector(small_cluster.qps),
+            )
+    finally:
+        _reset_direct_construction_warning()
+
+
+def test_facade_construction_does_not_warn(small_cluster):
+    import warnings
+
+    from repro.cluster.cronjob import _reset_direct_construction_warning
+
+    _reset_direct_construction_warning()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.run_control_loop(
+                small_cluster.problem, cycles=1, time_limit=2.0
+            )
+    finally:
+        _reset_direct_construction_warning()

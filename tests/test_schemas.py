@@ -1,0 +1,158 @@
+"""Versioned wire schemas: every payload crossing the service boundary
+is ``schema_version``-tagged, round-trips losslessly, and rejects future
+versions instead of misreading them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.cluster.cronjob import CycleReport
+from repro.exceptions import ProblemValidationError
+from repro.faults import FaultPlan
+from repro.migration.executor import ExecutionTrace
+from repro.schemas import (
+    SCHEMA_KEY,
+    SCHEMA_VERSION,
+    check_schema,
+    strip_schema,
+    tag_schema,
+)
+from repro.service.tenant import TenantSpec
+from repro.workloads.trace_io import problem_to_dict
+
+
+# ----------------------------------------------------------------------
+# The tagging primitives
+# ----------------------------------------------------------------------
+def test_tag_schema_adds_version_without_mutating_input():
+    payload = {"a": 1}
+    tagged = tag_schema(payload)
+    assert tagged[SCHEMA_KEY] == SCHEMA_VERSION
+    assert tagged["a"] == 1
+    assert SCHEMA_KEY not in payload
+
+
+def test_check_schema_tolerates_missing_tag_as_v1():
+    # Payloads written before the tag existed keep loading.
+    check_schema({"a": 1}, "Thing")
+
+
+def test_check_schema_rejects_future_and_malformed_versions():
+    with pytest.raises(ProblemValidationError):
+        check_schema({SCHEMA_KEY: SCHEMA_VERSION + 1}, "Thing")
+    with pytest.raises(ProblemValidationError):
+        check_schema({SCHEMA_KEY: "one"}, "Thing")
+
+
+def test_strip_schema_removes_only_the_tag():
+    assert strip_schema({SCHEMA_KEY: 1, "a": 2}) == {"a": 2}
+
+
+# ----------------------------------------------------------------------
+# Round-trips: one per wire type, all on the shared version key
+# ----------------------------------------------------------------------
+def test_cycle_report_round_trip_is_tagged():
+    report = CycleReport(
+        cycle=3, action="executed", gained_before=0.4, gained_after=0.5,
+        moved_containers=7, rungs=["retry"], machine_failures=["node-1"],
+    )
+    payload = report.to_dict()
+    assert payload[SCHEMA_KEY] == SCHEMA_VERSION
+    assert CycleReport.from_dict(payload).to_dict() == payload
+    with pytest.raises(ProblemValidationError):
+        CycleReport.from_dict({**payload, SCHEMA_KEY: SCHEMA_VERSION + 1})
+
+
+def test_fault_plan_round_trip_is_tagged():
+    plan = FaultPlan(seed=9, command_failure_rate=0.2,
+                     machine_failure_rate=0.1, machine_flap_cycles=2)
+    payload = plan.to_dict()
+    assert payload[SCHEMA_KEY] == SCHEMA_VERSION
+    assert FaultPlan.from_dict(payload) == plan
+    # The tag must not trip the unknown-key strictness...
+    assert FaultPlan.from_dict(dict(payload)) == plan
+    # ...which still catches real typos.
+    with pytest.raises(ProblemValidationError):
+        FaultPlan.from_dict({**payload, "comand_failure_rate": 0.2})
+
+
+def test_migration_plan_round_trip_is_tagged(small_cluster):
+    problem = small_cluster.problem
+    from repro.core import Assignment
+
+    start = Assignment(problem, problem.current_assignment)
+    target = api.optimize(problem, time_limit=None).assignment
+    plan = api.plan_migration(problem, start, target)
+    payload = plan.to_dict()
+    assert payload[SCHEMA_KEY] == SCHEMA_VERSION
+    from repro.migration import MigrationPlan
+
+    assert MigrationPlan.from_dict(payload).to_dict() == payload
+    with pytest.raises(ProblemValidationError):
+        MigrationPlan.from_dict({**payload, SCHEMA_KEY: SCHEMA_VERSION + 1})
+
+
+def test_execution_trace_round_trip_is_tagged(small_cluster):
+    problem = small_cluster.problem
+    from repro.core import Assignment
+
+    start = Assignment(problem, problem.current_assignment)
+    target = api.optimize(problem, time_limit=None).assignment
+    plan = api.plan_migration(problem, start, target)
+    trace = api.execute_plan(problem, start, plan)
+    payload = trace.to_dict()
+    assert payload[SCHEMA_KEY] == SCHEMA_VERSION
+    assert ExecutionTrace.from_dict(payload, problem).to_dict() == payload
+    with pytest.raises(ProblemValidationError):
+        ExecutionTrace.from_dict(
+            {**payload, SCHEMA_KEY: SCHEMA_VERSION + 1}, problem
+        )
+
+
+def test_tenant_spec_round_trip_is_tagged(small_cluster):
+    spec = TenantSpec(
+        name="alpha",
+        problem=problem_to_dict(small_cluster.problem),
+        faults={"seed": 1, "command_failure_rate": 0.1},
+        schedule_seconds=2.5,
+        seed=4,
+    )
+    payload = spec.to_dict()
+    assert payload[SCHEMA_KEY] == SCHEMA_VERSION
+    assert TenantSpec.from_dict(payload) == spec
+    with pytest.raises(ProblemValidationError):
+        TenantSpec.from_dict({**payload, "sceduler": 1})
+    with pytest.raises(ProblemValidationError):
+        TenantSpec.from_dict({**payload, SCHEMA_KEY: SCHEMA_VERSION + 1})
+
+
+def test_tenant_spec_needs_exactly_one_source(small_cluster):
+    payload = problem_to_dict(small_cluster.problem)
+    with pytest.raises(ProblemValidationError):
+        TenantSpec(name="x")
+    with pytest.raises(ProblemValidationError):
+        TenantSpec(name="x", problem=payload, trace={"base": payload})
+    with pytest.raises(ProblemValidationError):
+        TenantSpec(name="../etc", problem=payload)
+
+
+# ----------------------------------------------------------------------
+# RASAResult.summary_dict
+# ----------------------------------------------------------------------
+def test_rasa_result_summary_dict(small_cluster):
+    result = api.optimize(small_cluster.problem, time_limit=None)
+    summary = result.summary_dict()
+    assert summary[SCHEMA_KEY] == SCHEMA_VERSION
+    assert summary["gained_affinity"] == pytest.approx(result.gained_affinity)
+    assert summary["num_services"] == small_cluster.problem.num_services
+    assert summary["num_machines"] == small_cluster.problem.num_machines
+    assert summary["num_subproblems"] == len(result.reports)
+    assert len(summary["subproblems"]) == len(result.reports)
+    for entry in summary["subproblems"]:
+        assert set(entry) == {"services", "algorithm", "status", "objective"}
+    assert all(len(point) == 2 for point in summary["trajectory"])
+    # The summary is plain data: it must survive JSON.
+    import json
+
+    assert json.loads(json.dumps(summary)) == summary
