@@ -544,6 +544,8 @@ def start_service(
     checkpoint_root: "str | Path | None" = None,
     resume: bool = True,
     tick_seconds: float = 0.5,
+    tracing: bool = True,
+    trace_seed: int = 0,
 ) -> "OptimizerService":
     """Start the multi-tenant optimizer service and return it running.
 
@@ -568,6 +570,10 @@ def start_service(
             ``checkpoint_root`` at startup.
         tick_seconds: Cadence of the cron ticker that fires scheduled
             tenant cycles.
+        tracing: Install a live process tracer at startup so
+            ``/v1/trace`` and ``/v1/trace/otlp`` serve spans; a pure
+            observer (report sequences are unchanged either way).
+        trace_seed: Seed of the service's deterministic trace-id factory.
 
     Returns:
         The running :class:`~repro.service.app.OptimizerService`; call
@@ -586,6 +592,8 @@ def start_service(
             ),
             resume=resume,
             tick_seconds=tick_seconds,
+            tracing=tracing,
+            trace_seed=trace_seed,
         )
     )
     service.start()

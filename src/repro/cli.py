@@ -21,12 +21,18 @@ Subcommands mirror the workflows a cluster operator needs:
   fetch plans and reports, per-tenant ``/healthz`` and ``/metrics``).
 * ``rasa tenant`` — client for a running service (``register``, ``list``,
   ``show``, ``cycles``, ``reports``, ``plan``, ``push``, ``schedule``,
-  ``health``, ``deregister``).
+  ``health``, ``events``, ``alerts``, ``deregister``).
+* ``rasa alerts`` — every tenant's active SLO burn-rate alerts as JSON.
+* ``rasa top`` — a one-shot (or ``--interval`` refreshed) terminal view
+  of tenants, cycle counts, health, and firing alerts.
 
 Every subcommand accepts ``--log-level`` (structured ``repro.*`` logging
 to stderr) and ``--quiet`` (suppress the plain-text stdout report);
 ``rasa optimize`` additionally writes Chrome trace-event JSON with
-``--trace-out`` and a metrics snapshot with ``--metrics-out``.
+``--trace-out``, OTLP/JSON with ``--otlp-out``, and a metrics snapshot
+with ``--metrics-out``.  ``rasa tenant cycles --trace-id ID`` pins the
+triggered cycles to a caller-chosen trace id that can then be grepped
+in the service access log, audit events, and span exports.
 
 Command implementations go through the :mod:`repro.api` facade — the CLI
 is a thin shell over the same supported surface library callers use.
@@ -161,6 +167,34 @@ def _add_durability(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_client_opts(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every subcommand that talks to a running service."""
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8080", metavar="URL",
+        help="service base URL (default: http://127.0.0.1:8080)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="per-request timeout; blocking cycle triggers run full "
+             "optimization cycles before responding (default: 600)",
+    )
+    parser.add_argument(
+        "--connect-retries", type=int, default=0, metavar="N",
+        help="retry refused connections up to N times with exponential "
+             "backoff (covers the service-startup race; default: 0)",
+    )
+
+
+def _make_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(
+        args.url,
+        timeout=args.timeout,
+        connect_retries=args.connect_retries,
+    )
+
+
 def _scheduler_config(args: argparse.Namespace) -> RASAConfig:
     """Build the scheduler config from the parallelism/profiling CLI flags."""
     config = RASAConfig()
@@ -203,6 +237,10 @@ def _add_optimize(subparsers) -> None:
     parser.add_argument(
         "--trace-out",
         help="write Chrome trace-event JSON (open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--otlp-out",
+        help="write the same spans as an OTLP/JSON trace document",
     )
     parser.add_argument(
         "--metrics-out",
@@ -360,6 +398,16 @@ def _add_serve(subparsers) -> None:
         "--tick-seconds", type=float, default=0.5, metavar="SECONDS",
         help="cron-ticker cadence for scheduled tenants (default: 0.5)",
     )
+    parser.add_argument(
+        "--no-tracing", action="store_true",
+        help="do not install a span tracer for the service process "
+             "(disables /v1/trace and /v1/trace/otlp span capture)",
+    )
+    parser.add_argument(
+        "--trace-seed", type=int, default=0, metavar="N",
+        help="seed of the service's deterministic trace-id factory "
+             "(default: 0)",
+    )
     _add_common(parser)
 
 
@@ -368,17 +416,6 @@ def _add_tenant(subparsers) -> None:
         "tenant", help="talk to a running optimizer service"
     )
     actions = parser.add_subparsers(dest="tenant_action", required=True)
-
-    def _add_client_opts(sub) -> None:
-        sub.add_argument(
-            "--url", default="http://127.0.0.1:8080", metavar="URL",
-            help="service base URL (default: http://127.0.0.1:8080)",
-        )
-        sub.add_argument(
-            "--timeout", type=float, default=600.0, metavar="SECONDS",
-            help="per-request timeout; blocking cycle triggers run full "
-                 "optimization cycles before responding (default: 600)",
-        )
 
     register = actions.add_parser("register", help="register a tenant")
     _add_client_opts(register)
@@ -406,6 +443,11 @@ def _add_tenant(subparsers) -> None:
         "--interval", type=float, default=None, metavar="SECONDS",
         help="simulated cycle period (default: trace cadence or 1800)",
     )
+    register.add_argument(
+        "--slo", metavar="JSON",
+        help="SLO spec overrides as inline JSON, e.g. "
+             '\'{"sla_ok_target": 0.95, "cycle_p95_seconds": 5.0}\'',
+    )
 
     for action, help_text in [
         ("list", "list registered tenants"),
@@ -416,6 +458,8 @@ def _add_tenant(subparsers) -> None:
         ("push", "push a collector traffic snapshot"),
         ("schedule", "set or clear the cron cadence"),
         ("health", "tenant health document"),
+        ("events", "fetch the tenant's audit/event log"),
+        ("alerts", "the tenant's SLO status and burn-rate alerts"),
         ("deregister", "remove a tenant"),
     ]:
         sub = actions.add_parser(action, help=help_text)
@@ -428,8 +472,18 @@ def _add_tenant(subparsers) -> None:
                 "--no-wait", action="store_true",
                 help="return the job id immediately instead of blocking",
             )
+            sub.add_argument(
+                "--trace-id", metavar="ID",
+                help="pin the request (and the cycles it triggers) to this "
+                     "trace id (1-32 hex chars) instead of a minted one",
+            )
         if action == "reports":
             sub.add_argument("--since", type=int, default=0, metavar="K")
+        if action == "events":
+            sub.add_argument(
+                "--since", type=int, default=0, metavar="SEQ",
+                help="only events with sequence number > SEQ (default: 0)",
+            )
         if action == "push":
             sub.add_argument(
                 "edges", help="JSON file: list of [svc_a, svc_b, qps] triples"
@@ -438,6 +492,31 @@ def _add_tenant(subparsers) -> None:
             sub.add_argument(
                 "seconds", help='cadence in seconds, or "off" to clear'
             )
+
+
+def _add_alerts(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "alerts", help="every tenant's active SLO burn-rate alerts"
+    )
+    _add_client_opts(parser)
+    _add_common(parser)
+
+
+def _add_top(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "top", help="terminal view of tenants, health, and firing alerts"
+    )
+    _add_client_opts(parser)
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh cadence when --iterations > 1 (default: 2)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=1, metavar="N",
+        help="how many refreshes to render before exiting; the default "
+             "of 1 prints one snapshot and exits",
+    )
+    _add_common(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -455,6 +534,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_replay(subparsers)
     _add_serve(subparsers)
     _add_tenant(subparsers)
+    _add_alerts(subparsers)
+    _add_top(subparsers)
     return parser
 
 
@@ -506,7 +587,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     metrics.reset()
     # --profile needs live spans to attach its hotspot tables to, so it
     # enables the tracer even without --trace-out.
-    tracer = Tracer() if (args.trace_out or args.profile) else None
+    tracer = (
+        Tracer() if (args.trace_out or args.otlp_out or args.profile) else None
+    )
     previous = set_tracer(tracer) if tracer is not None else None
     try:
         result = api.optimize(
@@ -547,6 +630,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         if tracer is not None and args.trace_out:
             tracer.export(args.trace_out)
             out(f"wrote trace to {args.trace_out}")
+        if tracer is not None and args.otlp_out:
+            tracer.export_otlp(args.otlp_out)
+            out(f"wrote OTLP trace to {args.otlp_out}")
         if args.metrics_out:
             metrics.export(args.metrics_out)
             out(f"wrote metrics to {args.metrics_out}")
@@ -884,6 +970,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 checkpoint_root=args.checkpoint_root,
                 resume=not args.no_resume,
                 tick_seconds=args.tick_seconds,
+                tracing=not args.no_tracing,
+                trace_seed=args.trace_seed,
             )
         except OSError as exc:
             print(f"error: could not bind service: {exc}", file=sys.stderr)
@@ -936,13 +1024,15 @@ def _tenant_register_payload(args: argparse.Namespace) -> dict:
         spec["problem"] = problem_to_dict(load_trace(args.trace))
     if args.fault_plan:
         spec["faults"] = FaultPlan.load(args.fault_plan).to_dict()
+    if args.slo:
+        spec["slo"] = json.loads(args.slo)
     return spec
 
 
 def cmd_tenant(args: argparse.Namespace) -> int:
-    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.client import ServiceError
 
-    client = ServiceClient(args.url, timeout=args.timeout)
+    client = _make_client(args)
     action = args.tenant_action
     try:
         if action == "register":
@@ -956,9 +1046,16 @@ def cmd_tenant(args: argparse.Namespace) -> int:
         elif action == "show":
             document = client.tenant(args.name)
         elif action == "cycles":
-            document = client.trigger_cycles(
-                args.name, cycles=args.cycles, wait=not args.no_wait
-            )
+            try:
+                document = client.trigger_cycles(
+                    args.name,
+                    cycles=args.cycles,
+                    wait=not args.no_wait,
+                    trace_id=args.trace_id,
+                )
+            except ValueError as exc:  # bad --trace-id
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
         elif action == "reports":
             document = client.reports(args.name, since=args.since)
         elif action == "plan":
@@ -975,12 +1072,82 @@ def cmd_tenant(args: argparse.Namespace) -> int:
             document = client.set_schedule(args.name, seconds)
         elif action == "health":
             document = client.health(args.name)
+        elif action == "events":
+            document = client.events(args.name, since=args.since)
+        elif action == "alerts":
+            document = client.alerts(args.name)
         else:  # deregister
             document = client.deregister_tenant(args.name)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _make_client(args)
+    try:
+        document = client.all_alerts()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def _render_top(tenants: list[dict], alerts: list[dict], out) -> None:
+    """One ``rasa top`` frame: a tenant table plus the firing alerts."""
+    out(f"{'tenant':16s} {'mode':8s} {'cycles':>6s} {'gained':>8s} "
+        f"{'sched':>7s} {'health':8s} {'alerts':>6s}")
+    for tenant in tenants:
+        gained = tenant.get("gained_affinity")
+        schedule = tenant.get("schedule_seconds")
+        health = tenant.get("health") or {}
+        out(
+            f"{tenant['name']:16s} {tenant.get('mode', '-'):8s} "
+            f"{tenant.get('cycles_completed', 0):>6d} "
+            f"{'-' if gained is None else format(gained, '8.3f'):>8s} "
+            f"{'-' if schedule is None else format(schedule, '.1f'):>7s} "
+            f"{health.get('status', '-'):8s} "
+            f"{tenant.get('alerts_active', 0):>6d}"
+        )
+    if alerts:
+        out("firing alerts:")
+        for alert in alerts:
+            out(
+                f"  {alert['tenant']}: {alert['objective']} "
+                f"{alert['severity']} burn={alert['burn_rate']:.1f}x "
+                f"(threshold {alert['threshold']:.1f}, "
+                f"window {alert['window_cycles']} cycles)"
+            )
+    else:
+        out("no alerts firing")
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    out = _make_output(args)
+    client = _make_client(args)
+    if args.iterations < 1:
+        print("error: --iterations must be >= 1", file=sys.stderr)
+        return 1
+    try:
+        for iteration in range(args.iterations):
+            if iteration:
+                time.sleep(max(0.0, args.interval))
+                out("")
+            tenants = client.list_tenants()
+            alerts = client.all_alerts().get("alerts", [])
+            _render_top(tenants, alerts, out)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED
     return 0
 
 
@@ -993,6 +1160,8 @@ COMMANDS = {
     "replay": cmd_replay,
     "serve": cmd_serve,
     "tenant": cmd_tenant,
+    "alerts": cmd_alerts,
+    "top": cmd_top,
 }
 
 

@@ -25,6 +25,7 @@ recorded on the :class:`CycleReport` and in spans/metrics.
 from __future__ import annotations
 
 import contextvars
+import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -42,6 +43,7 @@ from repro.exceptions import ClusterStateError
 from repro.faults import FaultInjector, attempt_with_retry
 from repro.migration.path import MigrationPathBuilder
 from repro.obs import get_logger, get_metrics, get_tracer, kv
+from repro.obs.context import current_trace_id
 from repro.obs.server import TelemetryHub
 from repro.schemas import check_schema, tag_schema
 
@@ -141,6 +143,10 @@ class CycleReport:
             cycle ran (empty outside replay mode).
         metrics: Snapshot of the process metrics registry taken when the
             cycle finished.
+        trace_id: Request trace id current while the cycle ran (None when
+            untraced).  Process-local like ``metrics`` — deliberately
+            excluded from :meth:`to_dict`, so serialized report sequences
+            stay bit-identical whether or not tracing is enabled.
     """
 
     cycle: int
@@ -160,6 +166,7 @@ class CycleReport:
     sla_ok: bool = True
     events: list[str] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    trace_id: str | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # Serialization (mirrors MigrationPlan.to_dict conventions)
@@ -297,6 +304,7 @@ class CronJobController:
     def run_once(self) -> CycleReport:
         """Run one full optimization cycle and return its report."""
         cycle = len(self.history)
+        started = time.perf_counter()
         tracer = get_tracer()
         logger = get_logger("cluster.cronjob")
         events: list[str] = []
@@ -315,6 +323,8 @@ class CronJobController:
             span.set_tag("moved_containers", report.moved_containers)
         report.events = events
         report.metrics = get_metrics().snapshot()
+        report.trace_id = current_trace_id()
+        duration = time.perf_counter() - started
         logger.info(
             "cycle done %s",
             kv(
@@ -326,7 +336,7 @@ class CronJobController:
         )
         self.history.append(report)
         if self.telemetry is not None:
-            self.telemetry.publish_cycle(report)
+            self.telemetry.publish_cycle(report, duration_seconds=duration)
         return report
 
     def _run_cycle(self, cycle: int, tracer, logger) -> CycleReport:

@@ -261,22 +261,40 @@ class DurableControlLoop:
         self.cold_start = False
         #: Torn WAL records truncated while loading the checkpoint.
         self.truncated_records = 0
+        #: Optional callable returning an owner-defined dict persisted
+        #: under the snapshot's ``extra`` key (the service stores each
+        #: tenant's audit/event log here so it survives restarts).
+        self.extra_state = None
+        #: The ``extra`` dict loaded from the resumed checkpoint (empty
+        #: for fresh runs); owners read it back after
+        #: :func:`prepare_resume`.
+        self.extra_payload: dict = {}
+        #: Optional callback fired after every snapshot write (the
+        #: service appends a ``checkpoint.written`` audit event from it).
+        self.on_checkpoint = None
         self._since_snapshot = 0
 
     # ------------------------------------------------------------------
     def _snapshot_payload(self) -> dict:
-        return {
+        payload = {
             "run": self.run_payload,
             "source": self.source_payload,
             "cycles_completed": len(self.controller.history),
             "reports": [r.to_dict() for r in self.controller.history],
             "live": capture_live(self.controller),
         }
+        if self.extra_state is not None:
+            payload["extra"] = self.extra_state()
+        elif self.extra_payload:
+            payload["extra"] = self.extra_payload
+        return payload
 
     def checkpoint(self) -> None:
         """Compact the journal into a fresh snapshot now."""
         self.store.write_snapshot(self._snapshot_payload())
         self._since_snapshot = 0
+        if self.on_checkpoint is not None:
+            self.on_checkpoint()
 
     def _commit_cycle(self, report: CycleReport) -> None:
         record = {
@@ -488,4 +506,6 @@ def prepare_resume(
     loop.resumed_cycles = resumed
     loop.cold_start = cold
     loop.truncated_records = checkpoint.truncated_records
+    if not cold:
+        loop.extra_payload = dict(checkpoint.snapshot.get("extra") or {})
     return loop

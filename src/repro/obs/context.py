@@ -1,0 +1,189 @@
+"""W3C ``traceparent``-style request context for end-to-end tracing.
+
+One :class:`TraceContext` links a client call, the HTTP request it
+becomes, the pool slot the work lands on, the cycle the controller runs,
+and every span the solver emits — all stamped with one ``trace_id``.
+
+Two properties matter more than OpenTelemetry fidelity:
+
+* **Determinism** — IDs come from :class:`TraceIdFactory`, a seeded
+  counter hashed through SHA-256, never from wall clock or ``random``.
+  The same sequence of requests against the same seed produces the same
+  IDs, so traced runs stay bit-reproducible.
+* **Explicit propagation across executor boundaries** — the current
+  context lives in a :class:`~contextvars.ContextVar`, which does *not*
+  flow into pool worker threads by itself.
+  :meth:`~repro.service.pool.ControllerPool.submit` captures
+  :func:`current_context` at submit time and the worker installs it with
+  :func:`use_context` around the job, so a cycle triggered over HTTP
+  carries the caller's trace across the slot boundary.
+
+The wire format is the W3C ``traceparent`` header
+(``00-<trace_id:32 hex>-<span_id:16 hex>-01``); unparseable headers are
+ignored (per the spec) and replaced with a server-generated context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+#: ``version-trace_id-span_id-flags``, lowercase hex per the W3C spec.
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+#: The all-zero trace id is invalid per the spec (and our "no context").
+ZERO_TRACE_ID = "0" * 32
+
+
+def _digest(material: str, nibbles: int) -> str:
+    """First ``nibbles`` hex chars of SHA-256 over ``material``."""
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:nibbles]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: trace, current span, optional parent span."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None = None
+
+    @property
+    def traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this context."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+
+def normalize_trace_id(value: str) -> str:
+    """Coerce a caller-supplied trace id to 32 lowercase hex chars.
+
+    Raises ``ValueError`` for anything that is not 1–32 hex digits (a
+    short id is left-padded with zeros, mirroring how people paste
+    truncated ids from logs).
+    """
+    candidate = str(value).strip().lower()
+    if not re.fullmatch(r"[0-9a-f]{1,32}", candidate):
+        raise ValueError(
+            f"trace_id must be 1-32 hex characters, got {value!r}"
+        )
+    candidate = candidate.zfill(32)
+    if candidate == ZERO_TRACE_ID:
+        raise ValueError("trace_id must not be all zeros")
+    return candidate
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; None for absent/invalid values."""
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    _, trace_id, span_id, _ = match.groups()
+    if trace_id == ZERO_TRACE_ID or span_id == "0" * 16:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+class TraceIdFactory:
+    """Deterministic trace/span/error-id generator (seeded counter).
+
+    Every ID is ``SHA-256(f"{namespace}:{seed}:{kind}:{counter}")``
+    truncated to the right width, so a run that issues the same sequence
+    of requests mints the same IDs — the property that keeps traced
+    service runs comparable byte-for-byte across replays.  Thread-safe.
+    """
+
+    def __init__(self, seed: int = 0, namespace: str = "rasa") -> None:
+        self.seed = int(seed)
+        self.namespace = str(namespace)
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def _next(self) -> int:
+        with self._lock:
+            self._counter += 1
+            return self._counter
+
+    @property
+    def issued(self) -> int:
+        """How many IDs this factory has minted."""
+        with self._lock:
+            return self._counter
+
+    def _id(self, kind: str, n: int, nibbles: int) -> str:
+        return _digest(f"{self.namespace}:{self.seed}:{kind}:{n}", nibbles)
+
+    def new_context(self) -> TraceContext:
+        """Mint a fresh root context (new trace, new span)."""
+        n = self._next()
+        return TraceContext(
+            trace_id=self._id("trace", n, 32),
+            span_id=self._id("span", n, 16),
+        )
+
+    def child(self, parent: TraceContext) -> TraceContext:
+        """A server-side child of ``parent``: same trace, new span."""
+        n = self._next()
+        return TraceContext(
+            trace_id=parent.trace_id,
+            span_id=self._id("span", n, 16),
+            parent_span_id=parent.span_id,
+        )
+
+    def child_of_trace(self, trace_id: str) -> TraceContext:
+        """A fresh span inside a caller-supplied trace id.
+
+        Used when the trace id is chosen by a human (``--trace-id``)
+        rather than carried in a parsed ``traceparent``; the id is
+        normalized (and validated) by :func:`normalize_trace_id`.
+        """
+        return TraceContext(
+            trace_id=normalize_trace_id(trace_id),
+            span_id=self._id("span", self._next(), 16),
+        )
+
+    def error_id(self) -> str:
+        """A short correlateable id for one 500-class failure."""
+        return self._id("error", self._next(), 12)
+
+
+# ----------------------------------------------------------------------
+# Current-context plumbing
+# ----------------------------------------------------------------------
+_current: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> TraceContext | None:
+    """The trace context active on this thread/task (None outside one)."""
+    return _current.get()
+
+
+def current_trace_id() -> str | None:
+    """Shorthand for ``current_context().trace_id`` (None outside one)."""
+    context = _current.get()
+    return None if context is None else context.trace_id
+
+
+@contextmanager
+def use_context(context: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Install ``context`` as current for the block (restores on exit).
+
+    ``use_context(None)`` explicitly clears the current context — the
+    pool worker uses this so a job submitted outside any request never
+    inherits a stale context from the previous job on the same thread.
+    """
+    token = _current.set(context)
+    try:
+        yield context
+    finally:
+        _current.reset(token)

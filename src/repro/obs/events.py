@@ -1,0 +1,138 @@
+"""Bounded per-tenant audit log: typed events with monotonic sequence ids.
+
+The multi-tenant service answers *who did what to which tenant when*
+through an :class:`EventLog` per tenant — a ring buffer of small typed
+event dicts (``tenant.registered``, ``cycle.started``,
+``cycle.completed``, ``cycle.degraded``, ``cycle.rolled_back``,
+``fault.injected``, ``checkpoint.written``, ``schedule.tick_skipped``,
+``tenant.deregistered``), each stamped with:
+
+* ``seq`` — a strictly monotonic per-log sequence number assigned under
+  the log's lock, which is what makes ``?since=<seq>`` pagination exact:
+  a reader that passes the last ``seq`` it saw gets every newer event
+  exactly once, with no gaps and no duplicates, even while concurrent
+  cycle triggers are appending;
+* ``trace_id`` — the request context that caused the event (None for
+  events outside any request, e.g. scheduled ticks before PR 10);
+* ``ts`` — wall-clock time, informational only (never part of the
+  bit-determinism contract, which covers cycle reports).
+
+The buffer is bounded (oldest events are evicted first); the log's
+:meth:`state_payload`/:meth:`restore_state` pair rides the durable
+checkpoint payload so audit history survives a service restart.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+#: Default ring capacity per tenant (~100 cycles of typical event volume).
+DEFAULT_CAPACITY = 512
+
+
+class EventLog:
+    """Thread-safe bounded ring buffer of typed audit events."""
+
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, *, tenant: str | None = None
+    ) -> None:
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._next_seq = 1
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        kind: str,
+        *,
+        cycle: int | None = None,
+        trace_id: str | None = None,
+        detail: dict[str, Any] | None = None,
+        ts: float | None = None,
+    ) -> dict[str, Any]:
+        """Record one event; returns the stored dict (seq assigned here)."""
+        event = {
+            "kind": str(kind),
+            "tenant": self.tenant,
+            "cycle": None if cycle is None else int(cycle),
+            "trace_id": trace_id,
+            "ts": time.time() if ts is None else float(ts),
+            "detail": dict(detail or {}),
+        }
+        with self._lock:
+            event["seq"] = self._next_seq
+            self._next_seq += 1
+            self._events.append(event)
+        return dict(event)
+
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest event (0 before any)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def first_seq(self) -> int:
+        """Sequence number of the oldest *retained* event (0 when empty)."""
+        with self._lock:
+            return self._events[0]["seq"] if self._events else 0
+
+    @property
+    def evicted(self) -> int:
+        """Events already pushed out of the ring by newer ones."""
+        with self._lock:
+            if not self._events:
+                return self._next_seq - 1
+            return self._events[0]["seq"] - 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ------------------------------------------------------------------
+    def since(self, seq: int = 0) -> list[dict[str, Any]]:
+        """Every retained event with ``seq`` strictly greater than ``seq``.
+
+        The pagination contract: call with the largest ``seq`` seen so
+        far and you receive each newer event exactly once, in order.
+        (Events evicted before they were read are reported by
+        :attr:`evicted` / ``first_seq``, not silently skipped over.)
+        """
+        seq = int(seq)
+        with self._lock:
+            return [dict(event) for event in self._events if event["seq"] > seq]
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """All retained events, oldest first."""
+        return self.since(0)
+
+    # ------------------------------------------------------------------
+    # Durability (rides the checkpoint payload)
+    # ------------------------------------------------------------------
+    def state_payload(self) -> dict[str, Any]:
+        """JSON-safe state for the durable checkpoint's ``extra`` payload."""
+        with self._lock:
+            return {
+                "next_seq": self._next_seq,
+                "capacity": self.capacity,
+                "events": [dict(event) for event in self._events],
+            }
+
+    def restore_state(self, payload: dict[str, Any]) -> None:
+        """Restore from :meth:`state_payload` (the ring cap still applies)."""
+        events = [dict(event) for event in payload.get("events", [])]
+        with self._lock:
+            self._events.clear()
+            self._events.extend(events)
+            restored_next = int(payload.get("next_seq", 1))
+            top = max((event["seq"] for event in self._events), default=0)
+            self._next_seq = max(restored_next, top + 1)

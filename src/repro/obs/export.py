@@ -9,8 +9,14 @@ metrics-snapshot JSON via :meth:`~repro.obs.metrics.MetricsRegistry.export`):
   payload the telemetry server's ``/metrics`` endpoint serves.  Dotted
   instrument names are sanitized to the Prometheus grammar, counters gain
   the conventional ``_total`` suffix, and histograms map to summaries
-  (``{quantile="0.5"|"0.95"}`` series plus ``_count``/``_sum``) with the
-  exact ``min``/``max`` exposed as companion gauges.
+  (``{quantile="0.5"|"0.95"|"0.99"}`` series from the seeded reservoir
+  plus ``_count``/``_sum``) with the exact ``min``/``max`` exposed as
+  companion gauges.
+* :func:`to_otlp` renders a span forest (from
+  :meth:`~repro.obs.spans.Tracer.finished_roots`) as an OTLP/JSON trace
+  document — the OpenTelemetry wire shape (``resourceSpans`` →
+  ``scopeSpans`` → spans with hex ``traceId``/``spanId``), so the same
+  trace a Chrome export shows can be pushed at an OTLP collector.
 * :class:`JsonlStreamWriter` appends one JSON object per line to a file as
   records close — the CronJob control loop streams each
   :class:`~repro.cluster.cronjob.CycleReport` through it, so a crashed or
@@ -32,7 +38,7 @@ from typing import Any, Mapping
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: The quantiles a histogram summary exposes (matching ``summarize()``).
-_QUANTILES = (("0.5", "p50"), ("0.95", "p95"))
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -111,6 +117,113 @@ def to_prometheus(snapshot: Mapping[str, Any]) -> str:
 
 #: Content type the Prometheus text format is served under.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+# ----------------------------------------------------------------------
+# OTLP/JSON trace export
+# ----------------------------------------------------------------------
+#: Trace id used for spans recorded outside any request context.
+_UNTRACED_TRACE_ID = "0" * 31 + "1"
+
+
+def _otlp_value(value: Any) -> dict[str, Any]:
+    """One tag value as an OTLP ``AnyValue`` (JSON encoding)."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attributes(tags: Mapping[str, Any]) -> list[dict[str, Any]]:
+    return [
+        {"key": key, "value": _otlp_value(tags[key])} for key in sorted(tags)
+    ]
+
+
+def _span_hex_id(trace_id: str, path: str) -> str:
+    """Deterministic 16-hex span id from the span's position in its tree."""
+    import hashlib
+
+    return hashlib.sha256(
+        f"{trace_id}:{path}".encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def to_otlp(roots, *, service_name: str = "rasa") -> dict[str, Any]:
+    """Render a span forest as an OTLP/JSON trace document.
+
+    Mapping rules:
+
+    * ``traceId`` comes from each span's ``trace_id`` tag (stamped by the
+      tracer when a request context is current); untraced spans share a
+      fixed placeholder trace so the document stays well-formed.
+      Children without their own tag inherit the enclosing trace.
+    * ``spanId`` is a deterministic hash of the span's position in its
+      tree — re-exporting the same tracer state yields byte-identical
+      documents.
+    * Timestamps are nanoseconds **relative to the tracer epoch**, not
+      the Unix epoch: relative time is what the deterministic replay
+      tooling diffs, and OTLP consumers only require monotonicity within
+      a trace.
+    * Span ``events`` map to OTLP span events; instant markers become
+      zero-duration spans.
+    """
+    spans_out: list[dict[str, Any]] = []
+
+    def emit(span, inherited_trace: str | None, parent_id: str | None,
+             path: str) -> None:
+        trace_id = (
+            span.tags.get("trace_id") or inherited_trace or _UNTRACED_TRACE_ID
+        )
+        span_id = _span_hex_id(trace_id, path)
+        end = span.start if span.end is None else span.end
+        entry: dict[str, Any] = {
+            "traceId": trace_id,
+            "spanId": span_id,
+            "name": span.name,
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": str(int(span.start * 1e9)),
+            "endTimeUnixNano": str(int(end * 1e9)),
+            "attributes": _otlp_attributes(span.tags),
+        }
+        if parent_id is not None:
+            entry["parentSpanId"] = parent_id
+        if span.events:
+            entry["events"] = [
+                {
+                    "timeUnixNano": str(int(ts * 1e9)),
+                    "name": name,
+                    "attributes": _otlp_attributes(tags),
+                }
+                for ts, name, tags in span.events
+            ]
+        spans_out.append(entry)
+        for index, child in enumerate(span.children):
+            emit(child, trace_id, span_id, f"{path}.{index}")
+
+    for index, root in enumerate(roots):
+        emit(root, None, None, str(index))
+
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {"stringValue": service_name},
+                        }
+                    ]
+                },
+                "scopeSpans": [
+                    {"scope": {"name": "repro.obs"}, "spans": spans_out}
+                ],
+            }
+        ]
+    }
 
 
 class JsonlStreamWriter:

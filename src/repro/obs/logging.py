@@ -79,3 +79,34 @@ def configure_logging(
 def kv(**fields: Any) -> str:
     """Render ``key=value`` pairs in a stable order for log messages."""
     return " ".join(f"{key}={value}" for key, value in fields.items())
+
+
+#: Logger every HTTP access-log line is emitted through (at INFO).
+ACCESS_LOGGER = "http.access"
+
+
+def access_record(
+    method: str,
+    path: str,
+    status: int,
+    duration_ms: float,
+    *,
+    tenant: str | None = None,
+    trace_id: str | None = None,
+) -> str:
+    """One structured HTTP access-log line (the ``repro.http.access`` format).
+
+    Fixed field order, ``-`` for absent values — grep-friendly for both
+    humans and the CI smoke assertions::
+
+        method=POST path=/v1/tenants/prod/cycles status=200 \
+duration_ms=41.03 tenant=prod trace_id=4f2a...
+    """
+    return kv(
+        method=method,
+        path=path,
+        status=int(status),
+        duration_ms=f"{duration_ms:.2f}",
+        tenant=tenant if tenant is not None else "-",
+        trace_id=trace_id if trace_id is not None else "-",
+    )

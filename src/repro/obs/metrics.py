@@ -66,7 +66,7 @@ class Gauge:
 
 
 class Histogram:
-    """Sample distribution summarized as count/sum/min/max/p50/p95.
+    """Sample distribution summarized as count/sum/min/max/p50/p95/p99.
 
     ``count``/``sum``/``min``/``max`` are tracked exactly for every
     observation.  Raw samples are kept in ``values`` up to ``sample_cap``;
@@ -139,7 +139,7 @@ class Histogram:
         with self._lock:
             if self.count == 0:
                 return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                        "p50": 0.0, "p95": 0.0}
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
             ordered = sorted(self.values)
             count, total = self.count, self.sum
             low, high = self.min, self.max
@@ -151,6 +151,7 @@ class Histogram:
             "max": high,
             "p50": ordered[min(n - 1, round(0.50 * (n - 1)))],
             "p95": ordered[min(n - 1, round(0.95 * (n - 1)))],
+            "p99": ordered[min(n - 1, round(0.99 * (n - 1)))],
         }
 
     # ------------------------------------------------------------------

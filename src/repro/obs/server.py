@@ -16,6 +16,8 @@ running in a daemon thread — and expose:
 * ``GET /cycles`` — every published cycle report as a JSON array.
 * ``GET /trace`` — the live Chrome trace-event document when a real
   tracer is installed (empty ``traceEvents`` otherwise).
+* ``GET /trace/otlp`` — the same span forest as an OTLP/JSON trace
+  document (:func:`~repro.obs.export.to_otlp`).
 
 State flows through a :class:`TelemetryHub`: the controller calls
 :meth:`TelemetryHub.publish_cycle` as each cycle closes, which also
@@ -38,7 +40,7 @@ from repro.obs.export import (
     JsonlStreamWriter,
     to_prometheus,
 )
-from repro.obs.logging import get_logger, kv
+from repro.obs.logging import ACCESS_LOGGER, access_record, get_logger, kv
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.spans import get_tracer
 
@@ -57,15 +59,26 @@ class TelemetryHub:
     def __init__(self, stream: JsonlStreamWriter | None = None) -> None:
         self._lock = threading.Lock()
         self._cycles: list[dict[str, Any]] = []
+        self._durations: list[float] = []
         self._recovery: dict[str, Any] | None = None
         self.stream = stream
 
     # ------------------------------------------------------------------
-    def publish_cycle(self, report: "CycleReport") -> None:
-        """Record one finished cycle (and stream it, when configured)."""
+    def publish_cycle(
+        self, report: "CycleReport", *, duration_seconds: float = 0.0
+    ) -> None:
+        """Record one finished cycle (and stream it, when configured).
+
+        ``duration_seconds`` is the cycle's measured wall time (0.0 when
+        unknown, e.g. for reports republished during a checkpoint
+        resume); the SLO engine reads it for the cycle-latency
+        objective.  It is deliberately kept *out* of the report payload
+        so report sequences stay machine-independent.
+        """
         payload = report.to_dict()
         with self._lock:
             self._cycles.append(payload)
+            self._durations.append(float(duration_seconds))
         if self.stream is not None:
             self.stream.write({"kind": "cycle", **payload})
 
@@ -83,6 +96,11 @@ class TelemetryHub:
         """Every published cycle report, in order."""
         with self._lock:
             return list(self._cycles)
+
+    def durations(self) -> list[float]:
+        """Measured wall time of each published cycle (0.0 = unknown)."""
+        with self._lock:
+            return list(self._durations)
 
     def health(self) -> dict[str, Any]:
         """Health summary derived from the latest published cycle.
@@ -136,6 +154,9 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
     #: Logger the access log is routed through (subclasses override).
     logger_name = "obs.server"
 
+    #: Status code of the last framed response (for the access log).
+    _last_status: int = 0
+
     def respond_json(self, code: int, payload: Any) -> None:
         """Send ``payload`` as a canonical (sorted-keys) JSON document."""
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -143,11 +164,37 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
 
     def respond(self, code: int, content_type: str, body: bytes) -> None:
         """Send a fully framed response."""
+        self._last_status = int(code)
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def log_access(
+        self,
+        duration_ms: float,
+        *,
+        tenant: str | None = None,
+        trace_id: str | None = None,
+    ) -> None:
+        """Emit one structured access-log line for the handled request.
+
+        Routed through the shared ``repro.http.access`` logger at INFO so
+        ``--log-level INFO`` surfaces every request with its method, path,
+        status, latency, tenant, and trace id.
+        """
+        get_logger(ACCESS_LOGGER).info(
+            "%s",
+            access_record(
+                self.command or "-",
+                self.path,
+                self._last_status,
+                duration_ms,
+                tenant=tenant,
+                trace_id=trace_id,
+            ),
+        )
 
     def log_message(self, format: str, *args: Any) -> None:
         """Route access logs through the project logger instead of stderr."""
@@ -172,6 +219,8 @@ class _TelemetryRequestHandler(JsonRequestHandler):
             self.respond_json(200, server.hub.cycles())
         elif path == "/trace":
             self.respond_json(200, server.trace_document())
+        elif path == "/trace/otlp":
+            self.respond_json(200, server.trace_document_otlp())
         else:
             self.respond_json(404, {"error": f"unknown path {path!r}"})
 
@@ -218,6 +267,13 @@ class TelemetryServer:
         if not tracer.enabled:
             return {"traceEvents": [], "displayTimeUnit": "ms"}
         return tracer.to_chrome()
+
+    def trace_document_otlp(self) -> dict[str, Any]:
+        """Live OTLP/JSON trace document from the process tracer."""
+        from repro.obs.export import to_otlp
+
+        tracer = get_tracer()
+        return to_otlp(tracer.finished_roots())
 
     # ------------------------------------------------------------------
     @property

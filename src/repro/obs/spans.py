@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 from contextlib import contextmanager
 
+from repro.obs.context import current_trace_id
+
 
 @dataclass
 class Span:
@@ -149,11 +151,20 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **tags: Any) -> Iterator[Span]:
-        """Open a nested span; closes (and files) it when the block exits."""
+        """Open a nested span; closes (and files) it when the block exits.
+
+        When a request :class:`~repro.obs.context.TraceContext` is
+        current (service-triggered cycles), the span is stamped with its
+        ``trace_id`` so exports can be filtered per request.
+        """
+        span_tags = dict(tags)
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            span_tags.setdefault("trace_id", trace_id)
         span = Span(
             name=name,
             start=self._now(),
-            tags=dict(tags),
+            tags=span_tags,
             thread_id=threading.get_ident(),
         )
         stack = self._stack()
@@ -182,11 +193,15 @@ class Tracer:
         if stack:
             stack[-1].events.append((now, name, dict(tags)))
             return
+        marker_tags = dict(tags)
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            marker_tags.setdefault("trace_id", trace_id)
         marker = Span(
             name=name,
             start=now,
             end=now,
-            tags=dict(tags),
+            tags=marker_tags,
             thread_id=threading.get_ident(),
             instant=True,
         )
@@ -279,6 +294,23 @@ class Tracer:
         from repro.durability.atomic import atomic_write_json
 
         atomic_write_json(path, self.to_chrome(), indent=1)
+
+    def to_otlp(self, service_name: str = "rasa") -> dict[str, Any]:
+        """Render all spans as an OTLP/JSON trace document.
+
+        See :func:`repro.obs.export.to_otlp` for the mapping (trace ids
+        from span ``trace_id`` tags, deterministic span ids, timestamps
+        relative to the tracer epoch).
+        """
+        from repro.obs.export import to_otlp
+
+        return to_otlp(self.finished_roots(), service_name=service_name)
+
+    def export_otlp(self, path, service_name: str = "rasa") -> None:
+        """Write the OTLP/JSON trace document to ``path`` (atomic)."""
+        from repro.durability.atomic import atomic_write_json
+
+        atomic_write_json(path, self.to_otlp(service_name), indent=1)
 
     def summary(self) -> str:
         """Plain-text tree of span names, durations, and tags."""

@@ -26,8 +26,25 @@ POST   ``/v1/tenants/<n>/snapshots``      push collector traffic edges
 POST   ``/v1/tenants/<n>/schedule``       set/clear the cron cadence
 GET    ``/v1/tenants/<n>/healthz``        tenant health (503 on SLA breach)
 GET    ``/v1/tenants/<n>/metrics``        tenant metrics (Prometheus text)
+GET    ``/v1/tenants/<n>/events``         tenant audit log (``since=<seq>``)
+GET    ``/v1/tenants/<n>/alerts``         tenant SLO burn-rate alerts
+GET    ``/v1/events``                     merged audit log across tenants
+GET    ``/v1/alerts``                     active alerts across tenants
+GET    ``/v1/trace``                      live Chrome trace-event document
+GET    ``/v1/trace/otlp``                 live OTLP/JSON trace document
 GET    ``/v1/jobs/<id>``                  async trigger status
 ====== ================================== ===================================
+
+Request tracing: every request runs under a
+:class:`~repro.obs.context.TraceContext` — continued from the client's
+W3C ``traceparent`` header when one is sent, minted from the service's
+deterministic :class:`~repro.obs.context.TraceIdFactory` otherwise.  The
+context crosses the controller-pool thread boundary with the job, so the
+HTTP access-log line, the tenant's audit events, the cycle's spans
+(Chrome and OTLP exports), and ``CycleReport.trace_id`` all carry the
+same trace id.  Unhandled errors return a uniform envelope
+``{"error", "error_id", "trace_id"}`` with the exception detail kept in
+the server log under the ``error_id``.
 
 Scheduling: a ticker thread fires one cycle per tenant every
 ``schedule_seconds`` (wall clock).  A scheduled tick is skipped while the
@@ -55,8 +72,15 @@ from typing import TYPE_CHECKING, Any
 from repro.durability.checkpoint import SNAPSHOT_FILE, WAL_FILE
 from repro.exceptions import ProblemValidationError
 from repro.obs import get_logger, get_metrics, kv
-from repro.obs.export import PROMETHEUS_CONTENT_TYPE, to_prometheus
+from repro.obs.context import (
+    TraceIdFactory,
+    current_trace_id,
+    parse_traceparent,
+    use_context,
+)
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, to_otlp, to_prometheus
 from repro.obs.server import JsonRequestHandler
+from repro.obs.spans import Tracer, get_tracer, set_tracer
 from repro.schemas import check_schema, strip_schema, tag_schema
 from repro.service.pool import ControllerPool
 from repro.service.tenant import Tenant, TenantSpec
@@ -87,6 +111,11 @@ class ServiceConfig:
             ``checkpoint_root`` at startup.
         tick_seconds: Cron-ticker cadence (how often due schedules are
             checked, not how often cycles run).
+        tracing: Install a real process tracer at startup (when none is
+            already enabled) so ``/v1/trace`` and ``/v1/trace/otlp``
+            serve live spans.  Tracing is a pure observer — disabling it
+            changes no report content.
+        trace_seed: Seed of the deterministic trace-id factory.
     """
 
     host: str = "127.0.0.1"
@@ -95,6 +124,8 @@ class ServiceConfig:
     checkpoint_root: Path | None = None
     resume: bool = True
     tick_seconds: float = 0.5
+    tracing: bool = True
+    trace_seed: int = 0
 
 
 class _Job:
@@ -106,6 +137,7 @@ class _Job:
         self.cycles = cycles
         self.future: "Future | None" = None
         self.submitted_at = time.time()
+        self.trace_id: str | None = None
 
     def payload(self) -> dict:
         future = self.future
@@ -126,6 +158,7 @@ class _Job:
                 "status": status,
                 "error": error,
                 "reports": reports,
+                "trace_id": self.trace_id,
             }
         )
 
@@ -141,6 +174,9 @@ class OptimizerService:
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         self.pool = ControllerPool(self.config.workers)
+        self.ids = TraceIdFactory(
+            seed=self.config.trace_seed, namespace="rasa-service"
+        )
         self._tenants: dict[str, Tenant] = {}
         self._jobs: dict[str, _Job] = {}
         self._job_ids = itertools.count(1)
@@ -151,6 +187,7 @@ class OptimizerService:
         self._http_thread: threading.Thread | None = None
         self._ticker: threading.Thread | None = None
         self._stop_event = threading.Event()
+        self._prev_tracer = None
         self._logger = get_logger("service.app")
 
     # ------------------------------------------------------------------
@@ -160,6 +197,10 @@ class OptimizerService:
         """Resume checkpointed tenants, bind, and serve; returns the port."""
         if self._httpd is not None:
             return self.port
+        if self.config.tracing and not get_tracer().enabled:
+            # Install a live tracer for /v1/trace[.otlp]; restored on
+            # stop().  An already-enabled tracer (e.g. a test's) is kept.
+            self._prev_tracer = set_tracer(Tracer())
         self.pool.start()
         if self.config.checkpoint_root is not None and self.config.resume:
             self._resume_tenants(self.config.checkpoint_root)
@@ -215,6 +256,9 @@ class OptimizerService:
                     "final checkpoint failed %s",
                     kv(tenant=tenant.name, error=str(exc)),
                 )
+        if self._prev_tracer is not None:
+            set_tracer(self._prev_tracer)
+            self._prev_tracer = None
         self._logger.info("service stopped %s", kv(tenants=len(tenants)))
 
     def __enter__(self) -> "OptimizerService":
@@ -255,6 +299,11 @@ class OptimizerService:
             self._tenants[spec.name] = tenant
             self._arm_schedule(tenant)
         get_metrics().counter("service.tenants.registered").inc()
+        tenant.record_event(
+            "tenant.registered",
+            trace_id=current_trace_id(),
+            detail={"mode": spec.mode, "durable": checkpoint_dir is not None},
+        )
         self._logger.info(
             "tenant registered %s",
             kv(tenant=spec.name, mode=spec.mode,
@@ -269,6 +318,13 @@ class OptimizerService:
             tenant = self._tenants.pop(name)
             self._scheduled.pop(name, None)
             self._next_due.pop(name, None)
+        # Recorded before the final checkpoint so the event survives on
+        # disk with the rest of the tenant's audit log.
+        tenant.record_event(
+            "tenant.deregistered",
+            cycle=tenant.cycles_completed,
+            trace_id=current_trace_id(),
+        )
         tenant.checkpoint()
         get_metrics().counter("service.tenants.deregistered").inc()
         self._logger.info("tenant deregistered %s", kv(tenant=name))
@@ -288,6 +344,7 @@ class OptimizerService:
         """Queue ``cycles`` cycles for a tenant; returns the job record."""
         tenant = self.tenant(name)
         job = _Job(f"job-{next(self._job_ids)}", name, cycles)
+        job.trace_id = current_trace_id()
         with self._lock:
             self._jobs[job.id] = job
         job.future = self.pool.submit(name, lambda: tenant.run_cycles(cycles))
@@ -330,6 +387,42 @@ class OptimizerService:
         )
 
     # ------------------------------------------------------------------
+    # Observability roll-ups
+    # ------------------------------------------------------------------
+    def events_doc(self) -> dict:
+        """The merged ``/v1/events`` document (all tenants, time-ordered)."""
+        merged: list[dict] = []
+        names: list[str] = []
+        for tenant in self.tenants():
+            names.append(tenant.name)
+            merged.extend(tenant.events.snapshot())
+        merged.sort(key=lambda e: (e["ts"], e["tenant"] or "", e["seq"]))
+        return tag_schema({"tenants": names, "events": merged})
+
+    def alerts_doc(self) -> dict:
+        """The ``/v1/alerts`` document: every tenant's active alerts."""
+        alerts: list[dict] = []
+        observed: dict[str, int] = {}
+        for tenant in self.tenants():
+            observed[tenant.name] = tenant.slo.cycles_observed
+            alerts.extend(tenant.slo.alerts())
+        return tag_schema(
+            {"alerts": alerts, "cycles_observed": observed}
+        )
+
+    def trace_chrome(self) -> dict:
+        """Live Chrome trace-event document from the process tracer."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        return tracer.to_chrome()
+
+    def trace_otlp(self) -> dict:
+        """Live OTLP/JSON trace document from the process tracer."""
+        return to_otlp(get_tracer().finished_roots(),
+                       service_name="rasa-service")
+
+    # ------------------------------------------------------------------
     # Cron ticker
     # ------------------------------------------------------------------
     def _arm_schedule(self, tenant: Tenant) -> None:
@@ -364,10 +457,19 @@ class OptimizerService:
                 # skip this tick rather than stacking cycles behind it.
                 self._next_due[name] = now + float(tenant.spec.schedule_seconds)
                 get_metrics().counter("service.schedule.skipped").inc()
+                tenant.record_event(
+                    "schedule.tick_skipped",
+                    cycle=tenant.cycles_completed,
+                    detail={"reason": "previous scheduled cycle still running"},
+                )
                 return
             self._next_due[name] = now + float(tenant.spec.schedule_seconds)
+        # Each scheduled firing gets its own trace context (there is no
+        # client request to inherit one from); the pool carries it to the
+        # worker thread like any triggered cycle.
         try:
-            future = self.pool.submit(name, lambda: tenant.run_cycles(1))
+            with use_context(self.ids.new_context()):
+                future = self.pool.submit(name, lambda: tenant.run_cycles(1))
         except RuntimeError:
             return  # pool already stopped; shutdown is racing the ticker
         with self._lock:
@@ -444,17 +546,52 @@ class _ServiceRequestHandler(JsonRequestHandler):
         return out
 
     def _dispatch(self, method: str) -> None:
-        try:
-            self._route(method)
-        except KeyError as exc:
-            self.respond_json(404, tag_schema({"error": f"not found: {exc}"}))
-        except ProblemValidationError as exc:
-            self.respond_json(400, tag_schema({"error": str(exc)}))
-        except Exception as exc:  # noqa: BLE001 - surface, don't kill thread
-            get_logger(self.logger_name).warning(
-                "request failed %s", kv(path=self.path, error=str(exc))
-            )
-            self.respond_json(500, tag_schema({"error": str(exc)}))
+        svc = self.svc
+        self._tenant_name: str | None = None
+        parsed = parse_traceparent(self.headers.get("traceparent"))
+        # Continue the client's trace when a valid traceparent came in;
+        # mint a fresh deterministic context otherwise.
+        ctx = svc.ids.child(parsed) if parsed else svc.ids.new_context()
+        started = time.perf_counter()
+        with use_context(ctx):
+            try:
+                self._route(method)
+            except KeyError as exc:
+                self.respond_json(
+                    404, tag_schema({"error": f"not found: {exc}"})
+                )
+            except ProblemValidationError as exc:
+                self.respond_json(400, tag_schema({"error": str(exc)}))
+            except Exception as exc:  # noqa: BLE001 - surface, don't kill thread
+                # Uniform 500 envelope: the exception detail stays in the
+                # server log, keyed by error_id, so internals never leak
+                # to clients but remain one grep away.
+                error_id = svc.ids.error_id()
+                get_logger(self.logger_name).error(
+                    "request failed %s",
+                    kv(
+                        path=self.path,
+                        error_id=error_id,
+                        trace_id=ctx.trace_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+                self.respond_json(
+                    500,
+                    tag_schema(
+                        {
+                            "error": "internal server error",
+                            "error_id": error_id,
+                            "trace_id": ctx.trace_id,
+                        }
+                    ),
+                )
+            finally:
+                self.log_access(
+                    (time.perf_counter() - started) * 1e3,
+                    tenant=self._tenant_name,
+                    trace_id=ctx.trace_id,
+                )
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._dispatch("GET")
@@ -476,6 +613,18 @@ class _ServiceRequestHandler(JsonRequestHandler):
         if method == "GET" and path == "/metrics":
             body = to_prometheus(get_metrics().snapshot())
             self.respond(200, PROMETHEUS_CONTENT_TYPE, body.encode("utf-8"))
+            return
+        if method == "GET" and path == "/v1/events":
+            self.respond_json(200, svc.events_doc())
+            return
+        if method == "GET" and path == "/v1/alerts":
+            self.respond_json(200, svc.alerts_doc())
+            return
+        if method == "GET" and path == "/v1/trace":
+            self.respond_json(200, svc.trace_chrome())
+            return
+        if method == "GET" and path == "/v1/trace/otlp":
+            self.respond_json(200, svc.trace_otlp())
             return
         if path == "/v1/tenants":
             if method == "GET":
@@ -521,6 +670,7 @@ class _ServiceRequestHandler(JsonRequestHandler):
         self, method: str, name: str, leaf: str | None
     ) -> None:
         svc = self.svc
+        self._tenant_name = name
         if leaf is None:
             if method == "GET":
                 self.respond_json(200, svc.tenant(name).summary())
@@ -586,6 +736,15 @@ class _ServiceRequestHandler(JsonRequestHandler):
         elif leaf == "metrics" and method == "GET":
             body = to_prometheus(svc.tenant(name).registry.snapshot())
             self.respond(200, PROMETHEUS_CONTENT_TYPE, body.encode("utf-8"))
+            return
+        elif leaf == "events" and method == "GET":
+            since = int(self._query().get("since", 0))
+            self.respond_json(
+                200, tag_schema(svc.tenant(name).events_since(since))
+            )
+            return
+        elif leaf == "alerts" and method == "GET":
+            self.respond_json(200, tag_schema(svc.tenant(name).alerts_doc()))
             return
         elif leaf == "snapshots" and method == "POST":
             body = self._read_body()

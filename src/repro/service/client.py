@@ -6,6 +6,15 @@ scripts and the ``rasa tenant ...`` CLI never hand-build URLs.  It is
 ``urllib.request`` only — the client must work in the same
 no-new-dependencies environment the service does.
 
+Every request carries a W3C ``traceparent`` header minted from the
+client's own deterministic :class:`~repro.obs.context.TraceIdFactory`
+(seeded by ``trace_seed``), so the trace id printed by the CLI is the
+same one that shows up in the server's access log, the tenant's audit
+events, and the cycle's span exports.  A freshly started service may not
+be accepting connections yet; connection-refused errors are retried with
+bounded exponential backoff (``connect_retries``/``connect_backoff``)
+instead of making every caller hand-roll a sleep loop.
+
 Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
 and the server's JSON error document.
 """
@@ -13,10 +22,12 @@ and the server's JSON error document.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Any
 
+from repro.obs.context import TraceIdFactory, normalize_trace_id
 from repro.schemas import tag_schema
 
 
@@ -44,16 +55,76 @@ class ServiceClient:
         timeout: Per-request socket timeout in seconds.  Blocking
             triggers (``wait=True``) run full optimization cycles before
             responding, so give those a budget sized to the workload.
+        trace_seed: Seed of the client's trace-id factory (each request
+            sends a fresh ``traceparent`` minted from it).
+        connect_retries: How many times a refused connection is retried
+            before giving up (covers the startup race against a service
+            that has not bound its port yet).  0 disables retrying.
+        connect_backoff: Initial retry delay in seconds; doubles per
+            attempt, capped at 1 second.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        trace_seed: int = 0,
+        connect_retries: int = 0,
+        connect_backoff: float = 0.05,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.ids = TraceIdFactory(seed=trace_seed, namespace="rasa-client")
+        self.connect_retries = max(0, int(connect_retries))
+        self.connect_backoff = float(connect_backoff)
+        #: trace id of the most recent request (what the CLI prints).
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, payload: Any = None) -> Any:
+    def _open(self, request: urllib.request.Request) -> bytes:
+        """``urlopen`` with bounded retry on connection-refused only.
+
+        Refused connections are the startup race (server thread not yet
+        bound); anything else — timeouts, resets mid-request, DNS — is
+        not safely retryable for non-idempotent verbs and surfaces
+        immediately.
+        """
+        attempts = 0
+        delay = self.connect_backoff
+        while True:
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    return resp.read()
+            except urllib.error.URLError as exc:
+                refused = isinstance(exc.reason, ConnectionRefusedError)
+                if not refused or attempts >= self.connect_retries:
+                    raise
+                attempts += 1
+                time.sleep(min(delay, 1.0))
+                delay = min(delay * 2.0, 1.0)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        *,
+        trace_id: str | None = None,
+    ) -> Any:
         body = None
-        headers = {"Accept": "application/json"}
+        context = (
+            self.ids.new_context()
+            if trace_id is None
+            else self.ids.child_of_trace(trace_id)
+        )
+        self.last_trace_id = context.trace_id
+        headers = {
+            "Accept": "application/json",
+            "traceparent": context.traceparent,
+        }
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -62,8 +133,7 @@ class ServiceClient:
             method=method,
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                raw = resp.read()
+            raw = self._open(request)
         except urllib.error.HTTPError as exc:
             raw = exc.read()
             try:
@@ -126,18 +196,26 @@ class ServiceClient:
     # Tenant operations
     # ------------------------------------------------------------------
     def trigger_cycles(
-        self, name: str, *, cycles: int = 1, wait: bool = False
+        self,
+        name: str,
+        *,
+        cycles: int = 1,
+        wait: bool = False,
+        trace_id: "str | None" = None,
     ) -> dict:
         """``POST /v1/tenants/<name>/cycles`` — run more cycles.
 
         Returns the job document: 202-style (``status: "running"``) when
         ``wait`` is False, or the finished job with its cycle reports
-        when ``wait`` is True.
+        when ``wait`` is True.  ``trace_id`` pins the request (and thus
+        the triggered cycles' spans and audit events) to a caller-chosen
+        trace instead of a minted one.
         """
         return self._request(
             "POST",
             f"/v1/tenants/{name}/cycles",
             tag_schema({"cycles": cycles, "wait": bool(wait)}),
+            trace_id=trace_id,
         )
 
     def job(self, job_id: str) -> dict:
@@ -188,3 +266,32 @@ class ServiceClient:
     def metrics(self, name: str) -> str:
         """``GET /v1/tenants/<name>/metrics`` (Prometheus text)."""
         return self._request("GET", f"/v1/tenants/{name}/metrics")
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def events(self, name: str, *, since: int = 0) -> dict:
+        """``GET /v1/tenants/<name>/events?since=k`` — the audit log."""
+        return self._request(
+            "GET", f"/v1/tenants/{name}/events?since={int(since)}"
+        )
+
+    def all_events(self) -> dict:
+        """``GET /v1/events`` — merged audit log across all tenants."""
+        return self._request("GET", "/v1/events")
+
+    def alerts(self, name: str) -> dict:
+        """``GET /v1/tenants/<name>/alerts`` — SLO status + alerts."""
+        return self._request("GET", f"/v1/tenants/{name}/alerts")
+
+    def all_alerts(self) -> dict:
+        """``GET /v1/alerts`` — every tenant's active burn-rate alerts."""
+        return self._request("GET", "/v1/alerts")
+
+    def trace(self) -> dict:
+        """``GET /v1/trace`` — the live Chrome trace-event document."""
+        return self._request("GET", "/v1/trace")
+
+    def trace_otlp(self) -> dict:
+        """``GET /v1/trace/otlp`` — the live OTLP/JSON trace document."""
+        return self._request("GET", "/v1/trace/otlp")

@@ -29,6 +29,7 @@ from concurrent.futures import Future
 from typing import Any, Callable
 
 from repro.obs import get_logger, get_metrics, kv
+from repro.obs.context import current_context, use_context
 
 #: Virtual nodes per slot on the hash ring — enough for an even spread at
 #: small slot counts without making ring construction noticeable.
@@ -119,12 +120,18 @@ class ControllerPool:
         """Enqueue ``fn`` on the tenant's slot; returns its future.
 
         Jobs for one tenant run in submission order on one thread; jobs
-        for tenants on different slots run concurrently.
+        for tenants on different slots run concurrently.  The submitter's
+        request :class:`~repro.obs.context.TraceContext` (when one is
+        current) is captured here and reinstalled around the job on the
+        worker thread — ``ContextVar`` state does not cross threads by
+        itself, and this is what keeps one trace id flowing from the HTTP
+        handler through the pool into the cycle spans.
         """
         if not self._started or self._stopped:
             raise RuntimeError("ControllerPool is not running")
         future: Future = Future()
-        self._queues[self.slot_for(tenant)].put((tenant, fn, future))
+        ctx = current_context()
+        self._queues[self.slot_for(tenant)].put((tenant, fn, future, ctx))
         get_metrics().counter("service.pool.submitted").inc()
         return future
 
@@ -166,11 +173,12 @@ class ControllerPool:
             try:
                 if item is _STOP:
                     return
-                tenant, fn, future = item
+                tenant, fn, future, ctx = item
                 if not future.set_running_or_notify_cancel():
                     continue
                 try:
-                    future.set_result(fn())
+                    with use_context(ctx):
+                        future.set_result(fn())
                     get_metrics().counter("service.pool.completed").inc()
                 except BaseException as exc:  # noqa: BLE001 - future carries it
                     get_metrics().counter("service.pool.failed").inc()

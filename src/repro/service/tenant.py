@@ -36,7 +36,10 @@ from repro.cluster.cronjob import CycleReport
 from repro.core.config import DegradationPolicy, RASAConfig, RetryPolicy
 from repro.exceptions import ProblemValidationError
 from repro.obs import TelemetryHub
+from repro.obs.context import current_trace_id
+from repro.obs.events import DEFAULT_CAPACITY, EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOEngine, SLOSpec
 from repro.schemas import check_schema, strip_schema, tag_schema
 from repro.workloads.trace_io import problem_from_dict
 
@@ -86,6 +89,9 @@ class TenantSpec:
             only when triggered explicitly.
         checkpoint_every: Cycles between WAL compactions (durable
             tenants only).
+        slo: :class:`~repro.obs.slo.SLOSpec` field overrides; None uses
+            the default objectives (SLA-ok ratio only).
+        event_log_size: Capacity of the tenant's audit/event ring buffer.
     """
 
     name: str
@@ -103,6 +109,8 @@ class TenantSpec:
     seed: int = 0
     schedule_seconds: float | None = None
     checkpoint_every: int = 16
+    slo: dict | None = None
+    event_log_size: int = DEFAULT_CAPACITY
 
     def __post_init__(self) -> None:
         if not _NAME_RE.match(self.name):
@@ -118,6 +126,24 @@ class TenantSpec:
             raise ProblemValidationError(
                 f"schedule_seconds must be positive, got {self.schedule_seconds}"
             )
+        if self.event_log_size < 1:
+            raise ProblemValidationError(
+                f"event_log_size must be >= 1, got {self.event_log_size}"
+            )
+        if self.slo is not None:
+            try:
+                SLOSpec.from_dict(self.slo)
+            except (TypeError, ValueError) as exc:
+                raise ProblemValidationError(
+                    f"invalid tenant SLO spec: {exc}"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    def slo_spec(self) -> SLOSpec:
+        """The tenant's SLO spec (defaults when none was registered)."""
+        if self.slo is None:
+            return SLOSpec()
+        return SLOSpec.from_dict(self.slo)
 
     # ------------------------------------------------------------------
     @property
@@ -171,6 +197,8 @@ class Tenant:
         self.spec = spec
         self.hub = TelemetryHub()
         self.registry = MetricsRegistry()
+        self.events = EventLog(spec.event_log_size, tenant=spec.name)
+        self.slo = SLOEngine(spec.slo_spec(), tenant=spec.name)
         self.checkpoint_dir = (
             None if checkpoint_dir is None else Path(checkpoint_dir)
         )
@@ -239,6 +267,7 @@ class Tenant:
             # Stash the spec inside the run payload so a service restart
             # can resurrect the tenant (schedule included) from disk alone.
             self.durable.run_payload["tenant_spec"] = spec.to_dict()
+            self._arm_durable_hooks()
             self.durable.checkpoint()
 
     # ------------------------------------------------------------------
@@ -268,6 +297,14 @@ class Tenant:
         tenant.spec = TenantSpec.from_dict(spec_payload)
         tenant.controller = durable.controller
         tenant.durable = durable
+        tenant.events = EventLog(
+            tenant.spec.event_log_size, tenant=tenant.spec.name
+        )
+        saved_events = durable.extra_payload.get("events")
+        if saved_events:
+            tenant.events.restore_state(saved_events)
+        tenant.slo = SLOEngine(tenant.spec.slo_spec(), tenant=tenant.spec.name)
+        tenant._arm_durable_hooks()
         tenant._fold_new_reports()
         return tenant
 
@@ -302,6 +339,12 @@ class Tenant:
         """
         if cycles < 1:
             raise ProblemValidationError(f"cycles must be >= 1, got {cycles}")
+        self.events.append(
+            "cycle.started",
+            cycle=self.cycles_completed,
+            trace_id=current_trace_id(),
+            detail={"requested": int(cycles)},
+        )
         if self.durable is not None:
             target = len(self.controller.history) + cycles
             self.durable.total_cycles = target
@@ -310,8 +353,53 @@ class Tenant:
             new = history[-cycles:]
         else:
             new = self.controller.run(cycles)
+        for report in new:
+            self._record_cycle_events(report)
         self._fold_new_reports()
         return new
+
+    def _record_cycle_events(self, report: CycleReport) -> None:
+        """Append the audit events one finished cycle implies."""
+        trace_id = report.trace_id
+        self.events.append(
+            "cycle.completed",
+            cycle=report.cycle,
+            trace_id=trace_id,
+            detail={
+                "action": report.action,
+                "sla_ok": report.sla_ok,
+                "gained_after": report.gained_after,
+            },
+        )
+        if report.rungs:
+            self.events.append(
+                "cycle.degraded",
+                cycle=report.cycle,
+                trace_id=trace_id,
+                detail={"rungs": list(report.rungs)},
+            )
+        if report.action == "rolled_back":
+            self.events.append(
+                "cycle.rolled_back",
+                cycle=report.cycle,
+                trace_id=trace_id,
+                detail={"imbalance_after": report.imbalance_after},
+            )
+        if (
+            report.machine_failures
+            or report.failed_commands
+            or report.command_retries
+        ):
+            self.events.append(
+                "fault.injected",
+                cycle=report.cycle,
+                trace_id=trace_id,
+                detail={
+                    "machine_failures": len(report.machine_failures),
+                    "failed_commands": report.failed_commands,
+                    "command_retries": report.command_retries,
+                },
+            )
 
     def push_snapshot(self, edges: list) -> int:
         """Replace the collector's ground-truth traffic measurements.
@@ -354,6 +442,53 @@ class Tenant:
             self.durable.checkpoint()
 
     # ------------------------------------------------------------------
+    def _arm_durable_hooks(self) -> None:
+        """Persist the event log through the durable checkpoint payload."""
+        durable = self.durable
+        if durable is None:
+            return
+        durable.extra_state = lambda: {"events": self.events.state_payload()}
+        durable.on_checkpoint = self._on_checkpoint
+
+    def _on_checkpoint(self) -> None:
+        self.events.append(
+            "checkpoint.written",
+            cycle=self.cycles_completed,
+            trace_id=current_trace_id(),
+        )
+
+    def record_event(
+        self,
+        kind: str,
+        *,
+        cycle: int | None = None,
+        trace_id: str | None = None,
+        detail: dict | None = None,
+    ) -> dict:
+        """Append one audit event to the tenant's log (service plumbing)."""
+        return self.events.append(
+            kind, cycle=cycle, trace_id=trace_id, detail=detail
+        )
+
+    def events_since(self, since: int = 0) -> dict:
+        """The ``GET .../events?since=N`` document."""
+        return {
+            "tenant": self.name,
+            "events": self.events.since(since),
+            "last_seq": self.events.last_seq,
+            "first_seq": self.events.first_seq,
+            "evicted": self.events.evicted,
+        }
+
+    def alerts_doc(self) -> dict:
+        """The ``GET .../alerts`` document: active alerts + SLO status."""
+        return {
+            "tenant": self.name,
+            "alerts": self.slo.alerts(),
+            "slo": self.slo.status(),
+        }
+
+    # ------------------------------------------------------------------
     def summary(self) -> dict:
         """The tenant's status document (``GET /v1/tenants/<name>``)."""
         problem = self.controller.state.problem
@@ -376,6 +511,8 @@ class Tenant:
                 ),
                 "last_action": None if last is None else last.action,
                 "health": self.hub.health(),
+                "alerts_active": len(self.slo.alerts()),
+                "events_logged": self.events.last_seq,
             }
         )
 
@@ -390,10 +527,15 @@ class Tenant:
         """
         with self._lock:
             history = self.controller.history
-            fresh = history[self._folded:]
+            folded_before = self._folded
+            fresh = history[folded_before:]
             self._folded = len(history)
+        durations = self.hub.durations()
         reg = self.registry
-        for report in fresh:
+        for offset, report in enumerate(fresh):
+            index = folded_before + offset
+            duration = durations[index] if index < len(durations) else 0.0
+            self.slo.observe(report, duration_seconds=duration)
             reg.counter("tenant.cycles.total").inc()
             reg.counter(f"tenant.cycles.{report.action}").inc()
             reg.counter("tenant.moved_containers").inc(report.moved_containers)
@@ -408,3 +550,8 @@ class Tenant:
             reg.gauge("tenant.gained_affinity").set(report.gained_after)
             reg.gauge("tenant.imbalance").set(report.imbalance_after)
             reg.gauge("tenant.min_alive_fraction").set(report.min_alive_fraction)
+        if fresh:
+            for objective, rates in self.slo.burn_rates().items():
+                reg.gauge(f"slo.{objective}.burn_rate_fast").set(rates["fast"])
+                reg.gauge(f"slo.{objective}.burn_rate_slow").set(rates["slow"])
+            reg.gauge("slo.alerts.active").set(len(self.slo.alerts()))

@@ -1,0 +1,170 @@
+"""Request-trace context: deterministic IDs, W3C traceparent parsing,
+ContextVar propagation (including across the controller-pool boundary),
+and the OTLP/JSON span export."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.context import (
+    TraceContext,
+    TraceIdFactory,
+    current_context,
+    current_trace_id,
+    normalize_trace_id,
+    parse_traceparent,
+    use_context,
+)
+from repro.obs.export import to_otlp
+from repro.obs.spans import Tracer, use_tracer
+from repro.service.pool import ControllerPool
+
+
+# ----------------------------------------------------------------------
+# Deterministic ID factory
+# ----------------------------------------------------------------------
+def test_factory_is_deterministic_across_instances():
+    a = TraceIdFactory(seed=7)
+    b = TraceIdFactory(seed=7)
+    for _ in range(5):
+        assert a.new_context() == b.new_context()
+    assert a.issued == b.issued == 5
+
+
+def test_factory_seeds_and_namespaces_diverge():
+    base = TraceIdFactory(seed=0).new_context()
+    assert TraceIdFactory(seed=1).new_context() != base
+    assert TraceIdFactory(seed=0, namespace="other").new_context() != base
+
+
+def test_factory_mints_well_formed_ids():
+    factory = TraceIdFactory()
+    context = factory.new_context()
+    assert re.fullmatch(r"[0-9a-f]{32}", context.trace_id)
+    assert re.fullmatch(r"[0-9a-f]{16}", context.span_id)
+    assert re.fullmatch(r"[0-9a-f]{12}", factory.error_id())
+
+
+def test_child_keeps_trace_and_links_parent():
+    factory = TraceIdFactory()
+    parent = factory.new_context()
+    child = factory.child(parent)
+    assert child.trace_id == parent.trace_id
+    assert child.span_id != parent.span_id
+    assert child.parent_span_id == parent.span_id
+
+
+def test_child_of_trace_normalizes_caller_ids():
+    factory = TraceIdFactory()
+    context = factory.child_of_trace("ABC123")
+    assert context.trace_id == "abc123".zfill(32)
+    with pytest.raises(ValueError):
+        factory.child_of_trace("not-hex!")
+
+
+def test_normalize_trace_id_pads_and_rejects():
+    assert normalize_trace_id("deadbeef") == "deadbeef".zfill(32)
+    assert normalize_trace_id("A" * 32) == "a" * 32
+    for bad in ("", "0", "0" * 32, "x" * 32, "f" * 33):
+        with pytest.raises(ValueError):
+            normalize_trace_id(bad)
+
+
+# ----------------------------------------------------------------------
+# W3C traceparent wire format
+# ----------------------------------------------------------------------
+def test_traceparent_round_trips():
+    context = TraceIdFactory(seed=3).new_context()
+    parsed = parse_traceparent(context.traceparent)
+    assert parsed is not None
+    assert parsed.trace_id == context.trace_id
+    assert parsed.span_id == context.span_id
+
+
+@pytest.mark.parametrize("header", [
+    None,
+    "",
+    "garbage",
+    "00-short-abcd-01",
+    f"00-{'0' * 32}-{'a' * 16}-01",  # zero trace id is invalid per spec
+    f"00-{'a' * 32}-{'0' * 16}-01",  # zero span id too
+])
+def test_traceparent_invalid_headers_are_ignored(header):
+    assert parse_traceparent(header) is None
+
+
+def test_traceparent_is_case_insensitive():
+    parsed = parse_traceparent(f"00-{'A' * 32}-{'B' * 16}-01")
+    assert parsed is not None and parsed.trace_id == "a" * 32
+
+
+# ----------------------------------------------------------------------
+# Current-context plumbing
+# ----------------------------------------------------------------------
+def test_use_context_installs_and_restores():
+    assert current_context() is None
+    context = TraceContext(trace_id="a" * 32, span_id="b" * 16)
+    with use_context(context):
+        assert current_context() is context
+        assert current_trace_id() == context.trace_id
+        with use_context(None):
+            assert current_context() is None
+        assert current_context() is context
+    assert current_context() is None
+
+
+def test_pool_carries_context_across_the_slot_boundary():
+    outer = TraceContext(trace_id="c" * 32, span_id="d" * 16)
+    with ControllerPool(workers=2) as pool:
+        with use_context(outer):
+            traced = pool.submit("tenant-a", current_trace_id)
+        untraced = pool.submit("tenant-a", current_trace_id)
+        assert traced.result(timeout=5.0) == outer.trace_id
+        # A job submitted outside any request must not inherit the
+        # previous job's context from the reused worker thread.
+        assert untraced.result(timeout=5.0) is None
+
+
+# ----------------------------------------------------------------------
+# OTLP/JSON export
+# ----------------------------------------------------------------------
+def _traced_forest() -> list:
+    tracer = Tracer()
+    context = TraceIdFactory(seed=5).new_context()
+    with use_tracer(tracer):
+        with use_context(context):
+            with tracer.span("cycle", cycle=0):
+                with tracer.span("solve"):
+                    tracer.event("gate", executed=True)
+        with tracer.span("untraced"):
+            pass
+    return tracer.finished_roots(), context
+
+
+def test_otlp_document_shape_and_trace_propagation():
+    roots, context = _traced_forest()
+    document = to_otlp(roots, service_name="svc")
+    resource = document["resourceSpans"][0]
+    assert resource["resource"]["attributes"][0]["value"] == {
+        "stringValue": "svc"
+    }
+    spans = resource["scopeSpans"][0]["spans"]
+    by_name = {span["name"]: span for span in spans}
+    assert by_name["cycle"]["traceId"] == context.trace_id
+    # The child has no trace_id tag of its own but inherits the parent's.
+    assert by_name["solve"]["traceId"] == context.trace_id
+    assert by_name["solve"]["parentSpanId"] == by_name["cycle"]["spanId"]
+    assert by_name["solve"]["events"][0]["name"] == "gate"
+    # Untraced roots share the placeholder trace, not the request's.
+    assert by_name["untraced"]["traceId"] != context.trace_id
+
+
+def test_otlp_export_is_deterministic():
+    roots, _ = _traced_forest()
+    assert to_otlp(roots) == to_otlp(roots)
+    spans = to_otlp(roots)["resourceSpans"][0]["scopeSpans"][0]["spans"]
+    for span in spans:
+        assert re.fullmatch(r"[0-9a-f]{16}", span["spanId"])
+        assert int(span["endTimeUnixNano"]) >= int(span["startTimeUnixNano"])

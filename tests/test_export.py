@@ -54,6 +54,7 @@ cron_cycle 3.0
 # TYPE rasa_phase_solve_seconds summary
 rasa_phase_solve_seconds{quantile="0.5"} 3.0
 rasa_phase_solve_seconds{quantile="0.95"} 4.0
+rasa_phase_solve_seconds{quantile="0.99"} 4.0
 rasa_phase_solve_seconds_count 4.0
 rasa_phase_solve_seconds_sum 10.0
 # TYPE rasa_phase_solve_seconds_min gauge

@@ -194,7 +194,7 @@ def test_histogram_empty_summary_is_zeroes():
     registry.histogram("empty")
     summary = registry.snapshot()["histograms"]["empty"]
     assert summary == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                       "p50": 0.0, "p95": 0.0}
+                       "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 def test_counter_inc_is_thread_safe():
